@@ -1,0 +1,47 @@
+// Command ablations runs the design-choice studies the paper motivates in
+// prose: Solaris ISM pages (§6), collector parallelism (§4.1),
+// cache-to-cache latency sensitivity (§4.3), and the invalidation protocol
+// (§4.5). See internal/core/ablations.go.
+//
+// Usage:
+//
+//	ablations [-quick] [-which ism|gc|latency|protocol|volano|cosim]
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced runs")
+	which := flag.String("which", "", "run one study (ism, gc, latency, protocol)")
+	flag.Parse()
+
+	o := core.DefaultAblationOpts()
+	if *quick {
+		o = core.QuickAblationOpts()
+	}
+	want := func(n string) bool { return *which == "" || *which == n }
+	if want("ism") {
+		report.Render(os.Stdout, core.AblationISM(o))
+	}
+	if want("gc") {
+		report.Render(os.Stdout, core.AblationGCThreads(o))
+	}
+	if want("latency") {
+		report.Render(os.Stdout, core.AblationC2CLatency(o))
+	}
+	if want("protocol") {
+		report.Render(os.Stdout, core.AblationProtocol(o))
+	}
+	if want("volano") {
+		report.Render(os.Stdout, core.RelatedWorkKernelTime(o))
+	}
+	if want("cosim") {
+		report.Render(os.Stdout, core.CoSimExperiment(o))
+	}
+}

@@ -1,0 +1,63 @@
+// Command cachesweep runs the paper's uniprocessor trace-driven cache-size
+// sweeps (the Simics+Sumo methodology behind Figures 12 and 13) and prints
+// instruction- and data-cache miss rates per configuration.
+//
+// Usage:
+//
+//	cachesweep [-ops N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	ops := flag.Int("ops", 600, "measured operations per thread")
+	warm := flag.Int("warm", 120, "warm-up operations per thread")
+	seed := flag.Uint64("seed", 20030208, "simulation seed")
+	mode := flag.String("mode", "size", "swept dimension: size, assoc, or block")
+	fixed := flag.Int("fixed", 256<<10, "cache size in bytes for assoc/block modes")
+	flag.Parse()
+
+	o := core.SweepOpts{WarmupOps: *warm, MeasureOps: *ops, Seed: *seed}
+	var cs *core.CacheSweeps
+	var dim string
+	switch *mode {
+	case "size":
+		cs = core.RunCacheSweeps(o)
+		dim = "size"
+	case "assoc":
+		cs = core.RunGeometrySweeps(o, core.SweepAssoc, *fixed)
+		dim = "ways"
+	case "block":
+		cs = core.RunGeometrySweeps(o, core.SweepBlock, *fixed)
+		dim = "block"
+	default:
+		fmt.Println("unknown -mode; use size, assoc, or block")
+		return
+	}
+
+	fmt.Printf("misses per 1000 instructions, sweeping %s\n", dim)
+	fmt.Printf("%10s", dim)
+	for _, r := range cs.Results {
+		fmt.Printf(" | %10s-I %10s-D", r.Label, r.Label)
+	}
+	fmt.Println()
+	for i := range cs.Results[0].ICurve {
+		switch *mode {
+		case "assoc":
+			fmt.Printf("%9dw", 1<<uint(i))
+		case "block":
+			fmt.Printf("%9dB", 16<<uint(i))
+		default:
+			fmt.Printf("%8dKB", cs.Results[0].ICurve[i].SizeBytes/1024)
+		}
+		for _, r := range cs.Results {
+			fmt.Printf(" | %12.3f %12.3f", r.ICurve[i].MissesPer1000, r.DCurve[i].MissesPer1000)
+		}
+		fmt.Println()
+	}
+}

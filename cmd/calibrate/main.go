@@ -1,0 +1,34 @@
+// Command calibrate prints one diagnostic line per (workload, processor
+// count) point of the scaling sweep, with bus-level miss decomposition by
+// address region, lock-wait breakdown by lock class, and remote-tier
+// utilization. It is the tool the simulator's parameters were tuned with;
+// keep it around — every recalibration starts here.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	measure := flag.Uint64("measure", 30_000_000, "measurement window in cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	o := core.QuickOpts()
+	o.MeasureCycles = *measure
+	for _, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
+		for _, p := range []int{1, 2, 4, 8, 12, 15} {
+			t0 := time.Now()
+			pt := core.RunScalingPointDebug(kind, p, *seed, o)
+			fmt.Printf("%-8s P=%-2d thr=%8.0f cpi=%.2f(o=%.2f i=%.2f d=%.2f) u=%.2f s=%.2f io=%.2f id=%.2f gci=%.2f c2c=%.2f gc=%d gcf=%.3f i/op=%.0f\n  %s [%s]\n",
+				kind, p, pt.Throughput, pt.CPI, pt.OtherCPI, pt.IStallCPI, pt.DStallCPI,
+				pt.UserFrac, pt.SystemFrac, pt.IOFrac, pt.IdleFrac, pt.GCIdleFrac,
+				pt.C2CRatio, pt.GCCount, pt.GCWallFrac, pt.InstrPerOp, pt.Debug,
+				time.Since(t0).Round(time.Millisecond))
+		}
+	}
+}

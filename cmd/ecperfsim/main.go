@@ -1,0 +1,73 @@
+// Command ecperfsim runs the ECperf-like 3-tier deployment — driver,
+// application server (the measured machine), database, and supplier
+// emulator — and prints the application-server-side measurements the paper
+// collected, plus remote-tier utilization.
+//
+// Usage:
+//
+//	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	procs := flag.Int("p", 8, "processor-set size on the app server (1-16)")
+	oir := flag.Int("oir", 10, "orders injection rate (scale factor)")
+	seed := flag.Uint64("seed", 20030208, "simulation seed")
+	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
+	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	flag.Parse()
+
+	sys := core.BuildSystem(core.SystemParams{
+		Kind:       core.ECperf,
+		Processors: *procs,
+		Scale:      *oir,
+		Seed:       *seed,
+	})
+	eng := sys.Engine
+	eng.Run(*warmup)
+	eng.ResetStats()
+	eng.Run(*warmup + *measure)
+	res := eng.Results()
+
+	seconds := float64(*measure) / core.CyclesPerSecond
+	fmt.Printf("ECperf: %d processors, OIR %d, %.0f ms measured\n", *procs, *oir, seconds*1000)
+	fmt.Printf("throughput        %10.0f BBops/min (%0.0f/s)\n",
+		60*float64(res.BusinessOps)/seconds, float64(res.BusinessOps)/seconds)
+	for tag, n := range res.OpsByTag {
+		line := fmt.Sprintf("  %-15s %10d", tag, n)
+		if h := res.LatencyByTag[tag]; h != nil && h.Count() > 0 {
+			line += fmt.Sprintf("   p50 %5.2fms  p90 %5.2fms",
+				1000*float64(h.Quantile(0.5))/core.CyclesPerSecond,
+				1000*float64(h.Quantile(0.9))/core.CyclesPerSecond)
+		}
+		fmt.Println(line)
+	}
+	total := float64(res.Modes.Total())
+	fmt.Printf("modes: user %.1f%%  system %.1f%%  i/o %.1f%%  idle %.1f%%  gc-idle %.1f%%\n",
+		100*float64(res.Modes.User)/total, 100*float64(res.Modes.System)/total,
+		100*float64(res.Modes.IOWait)/total, 100*float64(res.Modes.Idle)/total,
+		100*float64(res.Modes.GCIdle)/total)
+	c := res.CPU
+	if c.Instructions > 0 {
+		in := float64(c.Instructions)
+		fmt.Printf("CPI %.3f (other %.3f, i-stall %.3f, d-stall %.3f); %.0f instructions/BBop\n",
+			float64(c.Total())/in, float64(c.BaseCycles)/in,
+			float64(c.IStallCycles)/in, float64(c.DStall())/in,
+			in/float64(res.BusinessOps))
+	}
+	bs := sys.Hier.Bus().Stats
+	fmt.Printf("bus: c2c ratio %.1f%% (%d transfers, %d from memory)\n",
+		100*bs.C2CRatio(), bs.C2CTransfers, bs.MemTransfers)
+	fmt.Printf("object cache: hit ratio %.1f%% (%d entries)\n",
+		100*sys.EC.Cache().HitRatio(), sys.EC.Cache().Len())
+	fmt.Printf("remote tiers: database %.0f%% utilized, supplier %.0f%%\n",
+		100*sys.DB.Utilization(), 100*sys.Supplier.Utilization())
+	fmt.Printf("gc: %d collections, %.1f%% of wall time\n",
+		res.GCCount, 100*float64(res.GCWall)/float64(*measure))
+}

@@ -1,0 +1,132 @@
+// Command figures regenerates the paper's evaluation figures (Figures 4
+// through 16 of "Memory System Behavior of Java-Based Middleware",
+// HPCA 2003) from the simulator and renders each as a data table and an
+// ASCII plot.
+//
+// Usage:
+//
+//	figures [-fig N] [-quick] [-seeds K]
+//
+// Without -fig, every figure is produced (Figures 4–9 share one scaling
+// sweep per workload, so the whole set costs little more than its largest
+// member). -quick selects the reduced test-sized configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+	quick := flag.Bool("quick", false, "reduced runs (single seed, short windows)")
+	seeds := flag.Int("seeds", 0, "override the number of seeds")
+	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots")
+	flag.Parse()
+
+	opts := core.DefaultOpts()
+	sweepOpts := core.DefaultSweepOpts()
+	memOpts := core.DefaultMemScaleOpts()
+	commOpts := core.DefaultCommOpts()
+	sharedOpts := core.DefaultSharedCacheOpts()
+	if *quick {
+		opts = core.QuickOpts()
+		sweepOpts = core.QuickSweepOpts()
+		memOpts = core.QuickMemScaleOpts()
+		commOpts = core.QuickCommOpts()
+		sharedOpts = core.QuickSharedCacheOpts()
+	}
+	if *seeds > 0 {
+		opts.Seeds = stats.Seeds(20030208, *seeds)
+		sharedOpts.Seeds = opts.Seeds
+	}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+	emitted := 0
+	emit := func(f core.Figure) {
+		if *md {
+			report.Markdown(os.Stdout, f)
+		} else {
+			report.Render(os.Stdout, f)
+		}
+		emitted++
+	}
+
+	start := time.Now()
+
+	// Figures 4–9 share the two scaling sweeps.
+	if want(4) || want(5) || want(6) || want(7) || want(8) || want(9) {
+		fmt.Fprintf(os.Stderr, "running scaling sweeps (procs=%v, %d seeds)...\n", opts.Procs, len(opts.Seeds))
+		jbb := core.RunScalingSweep(core.SPECjbb, opts)
+		ec := core.RunScalingSweep(core.ECperf, opts)
+		if want(4) {
+			emit(core.Fig4Throughput(jbb, ec))
+		}
+		if want(5) {
+			emit(core.Fig5ExecutionModes(ec))
+			emit(core.Fig5ExecutionModes(jbb))
+		}
+		if want(6) {
+			emit(core.Fig6CPIBreakdown(ec))
+			emit(core.Fig6CPIBreakdown(jbb))
+		}
+		if want(7) {
+			emit(core.Fig7DataStall(ec))
+			emit(core.Fig7DataStall(jbb))
+		}
+		if want(8) {
+			emit(core.Fig8C2CRatio(jbb, ec))
+		}
+		if want(9) {
+			emit(core.Fig9GCScaling(jbb, ec))
+		}
+	}
+
+	if want(10) || want(14) || want(15) {
+		fmt.Fprintln(os.Stderr, "running communication profiles (8 processors)...")
+		jbb := core.RunCommProfile(core.SPECjbb, commOpts)
+		ec := core.RunCommProfile(core.ECperf, commOpts)
+		if want(10) {
+			emit(core.Fig10C2CTimeline(jbb))
+		}
+		if want(14) {
+			emit(core.Fig14C2CDistribution(jbb, ec))
+		}
+		if want(15) {
+			emit(core.Fig15C2CFootprint(jbb, ec))
+		}
+	}
+
+	if want(11) {
+		fmt.Fprintln(os.Stderr, "running memory-scaling study...")
+		emit(core.Fig11MemoryScaling(memOpts))
+	}
+
+	if want(12) || want(13) {
+		fmt.Fprintln(os.Stderr, "running uniprocessor cache sweeps...")
+		cs := core.RunCacheSweeps(sweepOpts)
+		if want(12) {
+			emit(core.Fig12ICacheMissRate(cs))
+		}
+		if want(13) {
+			emit(core.Fig13DCacheMissRate(cs))
+		}
+	}
+
+	if want(16) {
+		fmt.Fprintln(os.Stderr, "running shared-cache CMP study...")
+		emit(core.Fig16SharedCaches(sharedOpts))
+	}
+
+	if emitted == 0 {
+		fmt.Fprintf(os.Stderr, "no such figure: %d (the paper has Figures 4-16)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "done: %d figure renderings in %s\n", emitted, time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,64 @@
+// Command jbbsim runs the SPECjbb2000-like workload model on the simulated
+// E6000 and prints the measurement views the paper collected: throughput,
+// the mpstat-style execution-mode breakdown, the CPI decomposition, and the
+// bus-level memory-system counters.
+//
+// Usage:
+//
+//	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	procs := flag.Int("p", 8, "processor-set size (1-16)")
+	whs := flag.Int("w", 0, "warehouses (0 = processors, the tuned value)")
+	seed := flag.Uint64("seed", 20030208, "simulation seed")
+	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
+	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	flag.Parse()
+
+	sys := core.BuildSystem(core.SystemParams{
+		Kind:       core.SPECjbb,
+		Processors: *procs,
+		Scale:      *whs,
+		Seed:       *seed,
+	})
+	eng := sys.Engine
+	eng.Run(*warmup)
+	eng.ResetStats()
+	eng.Run(*warmup + *measure)
+	res := eng.Results()
+
+	seconds := float64(*measure) / core.CyclesPerSecond
+	fmt.Printf("SPECjbb: %d processors, %d warehouses, %.0f ms measured\n",
+		*procs, sys.Params.Scale, seconds*1000)
+	fmt.Printf("throughput        %10.0f transactions/s\n", float64(res.BusinessOps)/seconds)
+	fmt.Printf("transactions      %10d\n", res.BusinessOps)
+	for tag, n := range res.OpsByTag {
+		fmt.Printf("  %-15s %10d\n", tag, n)
+	}
+	total := float64(res.Modes.Total())
+	fmt.Printf("modes: user %.1f%%  system %.1f%%  i/o %.1f%%  idle %.1f%%  gc-idle %.1f%%\n",
+		100*float64(res.Modes.User)/total, 100*float64(res.Modes.System)/total,
+		100*float64(res.Modes.IOWait)/total, 100*float64(res.Modes.Idle)/total,
+		100*float64(res.Modes.GCIdle)/total)
+	c := res.CPU
+	if c.Instructions > 0 {
+		in := float64(c.Instructions)
+		fmt.Printf("CPI %.3f (other %.3f, i-stall %.3f, d-stall %.3f)\n",
+			float64(c.Total())/in, float64(c.BaseCycles)/in,
+			float64(c.IStallCycles)/in, float64(c.DStall())/in)
+	}
+	bs := sys.Hier.Bus().Stats
+	fmt.Printf("bus: GetS %d  GetM %d  upgrades %d  c2c %d (ratio %.1f%%)  memory %d  writebacks %d\n",
+		bs.GetS, bs.GetM, bs.Upgrades, bs.C2CTransfers, 100*bs.C2CRatio(), bs.MemTransfers, bs.Writebacks)
+	fmt.Printf("gc: %d collections, %.1f%% of wall time; heap live %0.1f MB\n",
+		res.GCCount, 100*float64(res.GCWall)/float64(*measure),
+		float64(sys.Heap.Stats.LiveAfterLastGC)/(1<<20))
+}

@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Substrate micro-benchmarks: the simulator's throughput is dominated by
+// cache accesses, so regressions here slow every experiment.
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64})
+	c.Access(0x1000, mem.Read)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, mem.Read)
+	}
+}
+
+func BenchmarkAccessMissStream(b *testing.B) {
+	c := New(Config{Name: "b", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(mem.Addr(i)*64, mem.Read)
+	}
+}
+
+func BenchmarkSweepNineConfigs(b *testing.B) {
+	sw := NewSweep(SizeSweepConfigs("b"))
+	r := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		sw.Access((r>>30)%(4<<20), mem.Read)
+	}
+}

@@ -1,0 +1,262 @@
+// Package cache implements the set-associative cache core used throughout
+// the memory-system simulator, plus a one-pass multi-configuration sweeper
+// (the stand-in for the Sumo cache simulator the paper used with Simics).
+//
+// A Cache is a purely structural model: tags, ways, LRU, and an opaque
+// per-line state byte. The coherence protocol (internal/coherence) and the
+// hierarchy assembly (internal/memsys) decide what states mean and when to
+// allocate or invalidate; the uniprocessor sweep mode drives caches directly
+// through Access.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// State is an opaque per-line coherence state. The cache package only
+// distinguishes StateInvalid (line absent); all other values belong to the
+// protocol layer.
+type State uint8
+
+// StateInvalid marks an absent line. Protocols must use non-zero values for
+// valid states.
+const StateInvalid State = 0
+
+// Config describes one cache geometry.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Assoc * c.BlockBytes) }
+
+// Validate checks that the geometry is internally consistent: positive
+// power-of-two size and block, associativity that divides into whole sets.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("cache %q: size %d not a positive power of two", c.Name, c.SizeBytes)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("cache %q: block %d not a positive power of two", c.Name, c.BlockBytes)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache %q: associativity %d not positive", c.Name, c.Assoc)
+	case c.SizeBytes < c.Assoc*c.BlockBytes:
+		return fmt.Errorf("cache %q: size %d smaller than one set (%d ways × %d B)", c.Name, c.SizeBytes, c.Assoc, c.BlockBytes)
+	case c.Sets()&(c.Sets()-1) != 0:
+		return fmt.Errorf("cache %q: %d sets not a power of two", c.Name, c.Sets())
+	}
+	return nil
+}
+
+// String renders the geometry compactly, e.g. "L2 1MB/4way/64B".
+func (c Config) String() string {
+	return fmt.Sprintf("%s %dKB/%dway/%dB", c.Name, c.SizeBytes/1024, c.Assoc, c.BlockBytes)
+}
+
+// Line is one cache line's bookkeeping.
+type Line struct {
+	Tag     uint64 // block address (already shifted)
+	State   State
+	Dirty   bool
+	lastUse uint64
+}
+
+// Stats counts cache events. Hits/misses are split by access type.
+type Stats struct {
+	Reads, ReadMisses    uint64
+	Writes, WriteMisses  uint64
+	Fetches, FetchMisses uint64
+	Evictions            uint64
+	DirtyEvictions       uint64
+}
+
+// Accesses returns the total access count.
+func (s *Stats) Accesses() uint64 { return s.Reads + s.Writes + s.Fetches }
+
+// Misses returns the total miss count.
+func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses + s.FetchMisses }
+
+// MissRatio returns misses/accesses, or 0 with no accesses.
+func (s *Stats) MissRatio() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg        Config
+	sets       []Line // flat: sets[set*assoc : (set+1)*assoc]
+	assoc      int
+	setMask    uint64
+	blockShift uint
+	clock      uint64
+	Stats      Stats
+}
+
+// New builds a cache; it panics on an invalid geometry (geometries are
+// static experiment configuration, so an invalid one is a programming bug).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:        cfg,
+		sets:       make([]Line, sets*cfg.Assoc),
+		assoc:      cfg.Assoc,
+		setMask:    uint64(sets - 1),
+		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+	}
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr returns the block-aligned address containing a, in this cache's
+// block size.
+func (c *Cache) BlockAddr(a mem.Addr) uint64 { return a >> c.blockShift << c.blockShift }
+
+// setFor returns the slice of ways for the set holding block ba.
+func (c *Cache) setFor(ba uint64) []Line {
+	set := (ba >> c.blockShift) & c.setMask
+	return c.sets[set*uint64(c.assoc) : (set+1)*uint64(c.assoc)]
+}
+
+// Probe returns the line holding block ba, or nil. It does not update LRU.
+func (c *Cache) Probe(ba uint64) *Line {
+	ways := c.setFor(ba)
+	for i := range ways {
+		if ways[i].State != StateInvalid && ways[i].Tag == ba {
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks the line as most recently used.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lastUse = c.clock
+}
+
+// Victim describes a line evicted by Allocate.
+type Victim struct {
+	Tag   uint64
+	State State
+	Dirty bool
+}
+
+// Allocate inserts block ba with the given state, evicting the LRU way if
+// the set is full. It returns the victim, if any. The new line is marked
+// most recently used and clean; callers set Dirty as needed.
+func (c *Cache) Allocate(ba uint64, st State) (Victim, bool) {
+	if st == StateInvalid {
+		panic("cache: Allocate with StateInvalid")
+	}
+	ways := c.setFor(ba)
+	victimIdx := 0
+	var victim Victim
+	hadVictim := false
+	found := false
+	for i := range ways {
+		if ways[i].State == StateInvalid {
+			victimIdx = i
+			found = true
+			break
+		}
+		if ways[i].lastUse < ways[victimIdx].lastUse {
+			victimIdx = i
+		}
+	}
+	if !found {
+		v := &ways[victimIdx]
+		victim = Victim{Tag: v.Tag, State: v.State, Dirty: v.Dirty}
+		hadVictim = true
+		c.Stats.Evictions++
+		if v.Dirty {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	c.clock++
+	ways[victimIdx] = Line{Tag: ba, State: st, lastUse: c.clock}
+	return victim, hadVictim
+}
+
+// Invalidate removes block ba if present, returning whether it was dirty.
+func (c *Cache) Invalidate(ba uint64) (wasDirty, wasPresent bool) {
+	if l := c.Probe(ba); l != nil {
+		wasDirty = l.Dirty
+		*l = Line{}
+		return wasDirty, true
+	}
+	return false, false
+}
+
+// simpleValid is the single valid state used by uniprocessor Access mode.
+const simpleValid State = 1
+
+// Access performs a whole load/store/fetch in uniprocessor writeback-
+// allocate mode, updating stats and LRU. It returns true on a hit. It is the
+// entry point for the sweep simulator; coherent hierarchies use
+// Probe/Allocate/Invalidate instead.
+func (c *Cache) Access(a mem.Addr, t mem.AccessType) bool {
+	ba := c.BlockAddr(a)
+	switch t {
+	case mem.Read:
+		c.Stats.Reads++
+	case mem.Write:
+		c.Stats.Writes++
+	case mem.IFetch:
+		c.Stats.Fetches++
+	}
+	if l := c.Probe(ba); l != nil {
+		c.Touch(l)
+		if t == mem.Write {
+			l.Dirty = true
+		}
+		return true
+	}
+	switch t {
+	case mem.Read:
+		c.Stats.ReadMisses++
+	case mem.Write:
+		c.Stats.WriteMisses++
+	case mem.IFetch:
+		c.Stats.FetchMisses++
+	}
+	_, _ = c.Allocate(ba, simpleValid)
+	if t == mem.Write {
+		c.Probe(ba).Dirty = true
+	}
+	return false
+}
+
+// AccessRange performs an access for every block the byte range [a, a+size)
+// touches, in this cache's block size. Returns the number of misses.
+func (c *Cache) AccessRange(a mem.Addr, size uint64, t mem.AccessType) int {
+	if size == 0 {
+		return 0
+	}
+	misses := 0
+	bs := uint64(c.cfg.BlockBytes)
+	for ba := c.BlockAddr(a); ba <= c.BlockAddr(a+size-1); ba += bs {
+		if !c.Access(ba, t) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// ResetStats zeroes the counters without disturbing cache contents, so a
+// warm-up phase can be excluded from measurement — the paper reports
+// steady-state intervals only.
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,34 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzAccessConsistency drives one cache with arbitrary access bytes and
+// checks structural invariants: a just-accessed block always probes
+// present, and stats monotonically account every access.
+func FuzzAccessConsistency(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32, 16, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(Config{Name: "f", SizeBytes: 4 << 10, Assoc: 2, BlockBytes: 64})
+		var accesses uint64
+		for i := 0; i+2 < len(data); i += 3 {
+			addr := mem.Addr(data[i])<<8 | mem.Addr(data[i+1])
+			kind := mem.AccessType(data[i+2] % 3)
+			c.Access(addr, kind)
+			accesses++
+			if c.Probe(c.BlockAddr(addr)) == nil {
+				t.Fatalf("block %x absent immediately after access", addr)
+			}
+		}
+		if c.Stats.Accesses() != accesses {
+			t.Fatalf("accounted %d of %d accesses", c.Stats.Accesses(), accesses)
+		}
+		if c.Stats.Misses() > c.Stats.Accesses() {
+			t.Fatal("more misses than accesses")
+		}
+	})
+}

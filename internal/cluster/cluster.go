@@ -1,0 +1,93 @@
+// Package cluster co-simulates multiple machines, reproducing the paper's
+// Simics methodology: "we simulated four such machines connected by a
+// simulated 100-Mbit Ethernet link" with only the application server's
+// references fed to the memory-system simulator (§3.3).
+//
+// The coordinator advances the member engines in lockstep windows no wider
+// than the network's one-way latency. That latency is the classic
+// conservative-parallel-simulation lookahead: a message issued inside the
+// current window can only ever be delivered in a later one, so each engine
+// can safely simulate a whole window without hearing from its peers.
+//
+// Requests travel application server → database as engine callbacks
+// (osmodel.Engine.OnExternalCall) into the database workload's delivery
+// queue (internal/workload/dbserver); replies travel back on the database
+// engine's op-completion callback, waking the blocked application-server
+// thread at reply time + wire latency.
+package cluster
+
+import (
+	"repro/internal/osmodel"
+	"repro/internal/trace"
+	"repro/internal/workload/dbserver"
+)
+
+// Coordinator couples an application-server engine with a database-machine
+// engine over a link.
+type Coordinator struct {
+	app *osmodel.Engine
+	db  *osmodel.Engine
+	srv *dbserver.Server
+
+	// window is the lockstep step; it must not exceed the one-way wire
+	// latency (the lookahead).
+	window  uint64
+	latency uint64
+
+	// Requests counts app→db calls; Replies counts completed round trips.
+	Requests uint64
+	Replies  uint64
+}
+
+// New wires the two machines together. The application server's network
+// must have the database registered with AddExternalPeer; latency is the
+// one-way wire latency in cycles.
+func New(app, db *osmodel.Engine, srv *dbserver.Server, latency uint64) *Coordinator {
+	c := &Coordinator{
+		app:     app,
+		db:      db,
+		srv:     srv,
+		latency: latency,
+		window:  latency / 2,
+	}
+	if c.window == 0 {
+		c.window = 1
+	}
+	app.OnExternalCall = func(tid int, peer uint8, req, resp uint32, t uint64) {
+		c.Requests++
+		srv.Enqueue(dbserver.Request{
+			SourceThread: tid,
+			ReqBytes:     req,
+			RespBytes:    resp,
+			DeliverAt:    t + c.latency,
+		})
+	}
+	db.OnOpComplete = func(op *trace.Op, tid int, t uint64) {
+		if req, ok := srv.TakeRequest(op); ok {
+			c.Replies++
+			app.WakeExternal(req.SourceThread, t+c.latency)
+		}
+	}
+	return c
+}
+
+// Run advances both machines to the horizon in lookahead-bounded windows.
+// The application server runs each window first: requests it issues are
+// delivered at +latency — beyond the window's end — so the database can
+// then safely simulate the same window; its replies likewise wake
+// application threads only in later windows.
+func (c *Coordinator) Run(horizon uint64) {
+	for t := c.window; ; t += c.window {
+		if t > horizon {
+			t = horizon
+		}
+		c.app.Run(t)
+		c.db.Run(t)
+		if t == horizon {
+			return
+		}
+	}
+}
+
+// Window returns the lockstep window (for tests).
+func (c *Coordinator) Window() uint64 { return c.window }

@@ -1,0 +1,35 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func benchBus(nodes int) (*Bus, []*Node) {
+	b := NewBus()
+	var out []*Node
+	for i := 0; i < nodes; i++ {
+		out = append(out, b.AddNode(cache.New(cache.Config{
+			Name: "L2", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64,
+		}), nil))
+	}
+	return b, out
+}
+
+func BenchmarkReadLocalHit(b *testing.B) {
+	_, nodes := benchBus(16)
+	nodes[0].Read(0x1000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[0].Read(0x1000, uint64(i))
+	}
+}
+
+func BenchmarkMigratoryWrite16Nodes(b *testing.B) {
+	_, nodes := benchBus(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%16].Write(0x40, uint64(i))
+	}
+}

@@ -1,0 +1,395 @@
+// Package coherence implements a MOSI snooping-bus protocol over a set of
+// L2 caches, the model of the Sun E6000's snooping interconnect that the
+// paper measured.
+//
+// Each Node owns one L2 cache; a node may front several processors (the
+// shared-cache CMP configurations of Figure 16 attach 2, 4, or 8 processors
+// to one node). The bus serializes GetS/GetM/Upgrade transactions, counts
+// "snoop copybacks" — requests satisfied by another cache holding the block
+// Modified or Owned, the event the paper reads from cpustat — and can keep a
+// per-line profile of communication for Figures 14 and 15 plus a time series
+// of transfers for Figure 10.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// MOSI states stored in cache.Line.State. StateInvalid (0) is inherited
+// from the cache package.
+const (
+	// Modified: sole dirty copy.
+	Modified cache.State = 1 + iota
+	// Owned: dirty, but other Shared copies may exist; this cache supplies
+	// data on snoops and writes back on eviction (MOSI only).
+	Owned
+	// Shared: clean read-only copy.
+	Shared
+	// Exclusive: sole clean copy; writes upgrade silently (MESI only).
+	Exclusive
+)
+
+// StateName returns a short human-readable name for a MOSI state.
+func StateName(s cache.State) string {
+	switch s {
+	case cache.StateInvalid:
+		return "I"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	default:
+		return fmt.Sprintf("?%d", s)
+	}
+}
+
+// Source says who supplied the data for a request.
+type Source uint8
+
+const (
+	// SrcLocal: the request hit in the node's own L2.
+	SrcLocal Source = iota
+	// SrcCache: another cache supplied the block (cache-to-cache transfer).
+	SrcCache
+	// SrcMemory: main memory supplied the block.
+	SrcMemory
+	// SrcUpgrade: no data movement, only an ownership upgrade (S/O -> M).
+	SrcUpgrade
+)
+
+// String returns the source's short name.
+func (s Source) String() string {
+	switch s {
+	case SrcLocal:
+		return "local"
+	case SrcCache:
+		return "c2c"
+	case SrcMemory:
+		return "memory"
+	case SrcUpgrade:
+		return "upgrade"
+	default:
+		return fmt.Sprintf("Source(%d)", uint8(s))
+	}
+}
+
+// Stats are the bus-wide transaction counters.
+type Stats struct {
+	GetS          uint64 // read-miss bus transactions
+	GetM          uint64 // write-miss bus transactions
+	Upgrades      uint64 // S/O->M ownership transactions (no data)
+	C2CTransfers  uint64 // transactions served by another cache (snoop copyback)
+	MemTransfers  uint64 // transactions served by memory
+	Writebacks    uint64 // dirty evictions written back to memory
+	Invalidations uint64 // remote copies invalidated by GetM/Upgrade
+	L2Hits        uint64 // node-local hits (no bus transaction)
+}
+
+// DataRequests returns the number of bus transactions that needed data
+// (excludes upgrades): the denominator of the cache-to-cache ratio.
+func (s *Stats) DataRequests() uint64 { return s.GetS + s.GetM }
+
+// C2CRatio returns the fraction of L2 data misses satisfied by another
+// cache — the paper's Figure 8 metric.
+func (s *Stats) C2CRatio() float64 {
+	d := s.DataRequests()
+	if d == 0 {
+		return 0
+	}
+	return float64(s.C2CTransfers) / float64(d)
+}
+
+// Protocol selects the invalidation protocol the bus runs. The E6000 runs
+// a MOSI-flavored protocol (dirty owners supply data and retain it); the
+// MSI and MESI variants exist for the protocol ablation — the paper's §4.5
+// reasons about "a simple MSI invalidation protocol" when analyzing GC
+// behavior, and MESI shows what the Exclusive state buys.
+type Protocol uint8
+
+const (
+	// MOSI: dirty read-sharing; the owner supplies and keeps the line.
+	MOSI Protocol = iota
+	// MSI: a dirty line read by another cache is written back to memory
+	// and both copies become Shared.
+	MSI
+	// MESI: like MSI plus the Exclusive state (sole clean copy; silent
+	// upgrade on write).
+	MESI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case MOSI:
+		return "MOSI"
+	case MSI:
+		return "MSI"
+	case MESI:
+		return "MESI"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Bus is the snooping interconnect. It is not safe for concurrent use; the
+// simulator is single-threaded per run for determinism.
+type Bus struct {
+	nodes []*Node
+	// Protocol defaults to MOSI (the E6000's flavor).
+	Protocol Protocol
+	Stats    Stats
+
+	// profile, when non-nil, tracks touched lines and per-line C2C counts
+	// for the communication-footprint figures.
+	profile *stats.ShareDist
+	// timeline, when non-nil, bins C2C transfers by simulated time.
+	timeline *stats.TimeSeries
+
+	// ClassifyAddr, when set, attributes memory-served misses to address
+	// classes (a calibration diagnostic); MissClass counts per class.
+	ClassifyAddr func(addr uint64) int
+	MissClass    [8]uint64
+}
+
+// NewBus returns an empty bus; attach caches with AddNode.
+func NewBus() *Bus { return &Bus{} }
+
+// AddNode attaches an L2 cache to the bus and returns its node handle.
+// onInvalidate, if non-nil, is called whenever the protocol removes or
+// downgrades a block in this node's L2 so the owner can maintain L1
+// inclusion (it is also called for local evictions caused by Allocate).
+func (b *Bus) AddNode(l2 *cache.Cache, onInvalidate func(ba uint64)) *Node {
+	n := &Node{id: len(b.nodes), l2: l2, bus: b, onInvalidate: onInvalidate}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// Nodes returns the attached nodes in attachment order.
+func (b *Bus) Nodes() []*Node { return b.nodes }
+
+// EnableProfile starts per-line communication profiling (Figures 14/15).
+func (b *Bus) EnableProfile() { b.profile = stats.NewShareDist() }
+
+// Profile returns the per-line communication profile, or nil if profiling
+// is off.
+func (b *Bus) Profile() *stats.ShareDist { return b.profile }
+
+// EnableTimeline starts binning C2C transfers by simulated time with the
+// given bin width (Figure 10).
+func (b *Bus) EnableTimeline(interval uint64) { b.timeline = stats.NewTimeSeries(interval) }
+
+// Timeline returns the C2C time series, or nil if disabled.
+func (b *Bus) Timeline() *stats.TimeSeries { return b.timeline }
+
+// ResetStats zeroes the bus counters (cache contents stay warm). The
+// profile and timeline, if enabled, are restarted too.
+func (b *Bus) ResetStats() {
+	b.Stats = Stats{}
+	if b.profile != nil {
+		b.profile = stats.NewShareDist()
+	}
+	if b.timeline != nil {
+		b.timeline = stats.NewTimeSeries(b.timeline.Interval)
+	}
+}
+
+func (b *Bus) recordC2C(ba uint64, now uint64) {
+	b.Stats.C2CTransfers++
+	if b.profile != nil {
+		b.profile.Add(ba, 1)
+	}
+	if b.timeline != nil {
+		b.timeline.Add(now, 1)
+	}
+}
+
+func (b *Bus) touch(ba uint64) {
+	if b.profile != nil {
+		b.profile.Touch(ba)
+	}
+}
+
+func (b *Bus) classifyMem(ba uint64) {
+	if b.ClassifyAddr != nil {
+		if c := b.ClassifyAddr(ba); c >= 0 && c < len(b.MissClass) {
+			b.MissClass[c]++
+		}
+	}
+}
+
+// Node is one L2 cache's port onto the bus.
+type Node struct {
+	id           int
+	l2           *cache.Cache
+	bus          *Bus
+	onInvalidate func(ba uint64)
+}
+
+// ID returns the node's index on the bus.
+func (n *Node) ID() int { return n.id }
+
+// L2 returns the node's cache.
+func (n *Node) L2() *cache.Cache { return n.l2 }
+
+func (n *Node) notifyInvalidate(ba uint64) {
+	if n.onInvalidate != nil {
+		n.onInvalidate(ba)
+	}
+}
+
+// Read performs a coherent load of the block containing addr at simulated
+// time now, returning who supplied the data.
+func (n *Node) Read(addr mem.Addr, now uint64) Source {
+	ba := n.l2.BlockAddr(addr)
+	n.bus.touch(ba)
+	if l := n.l2.Probe(ba); l != nil {
+		n.l2.Touch(l)
+		n.bus.Stats.L2Hits++
+		return SrcLocal
+	}
+	// Bus GetS.
+	n.bus.Stats.GetS++
+	src := SrcMemory
+	anyCopy := false
+	for _, other := range n.bus.nodes {
+		if other == n {
+			continue
+		}
+		l := other.l2.Probe(ba)
+		if l == nil {
+			continue
+		}
+		anyCopy = true
+		switch l.State {
+		case Modified:
+			src = SrcCache
+			if n.bus.Protocol == MOSI {
+				// Owner supplies data and retains a dirty shared copy.
+				l.State = Owned
+			} else {
+				// MSI/MESI: supply, write back, both Shared and clean.
+				l.State = Shared
+				l.Dirty = false
+				n.bus.Stats.Writebacks++
+			}
+		case Owned:
+			src = SrcCache
+		case Exclusive:
+			// Clean sole copy downgrades; memory still supplies the data
+			// on this bus (no clean cache-to-cache on the E6000).
+			l.State = Shared
+		}
+	}
+	if src == SrcCache {
+		n.bus.recordC2C(ba, now)
+	} else {
+		n.bus.Stats.MemTransfers++
+		n.bus.classifyMem(ba)
+	}
+	st := Shared
+	if n.bus.Protocol == MESI && !anyCopy {
+		st = Exclusive
+	}
+	n.insert(ba, st)
+	return src
+}
+
+// Write performs a coherent store of the block containing addr at simulated
+// time now, returning who supplied the data (SrcLocal for an M hit,
+// SrcUpgrade for an ownership upgrade, SrcCache/SrcMemory for a full GetM).
+func (n *Node) Write(addr mem.Addr, now uint64) Source {
+	ba := n.l2.BlockAddr(addr)
+	n.bus.touch(ba)
+	if l := n.l2.Probe(ba); l != nil {
+		n.l2.Touch(l)
+		switch l.State {
+		case Modified:
+			n.bus.Stats.L2Hits++
+			l.Dirty = true
+			return SrcLocal
+		case Exclusive:
+			// MESI silent upgrade: no bus transaction at all.
+			n.bus.Stats.L2Hits++
+			l.State = Modified
+			l.Dirty = true
+			return SrcLocal
+		case Shared, Owned:
+			// Upgrade: invalidate remote copies, no data transfer.
+			n.bus.Stats.Upgrades++
+			n.invalidateRemotes(ba)
+			l.State = Modified
+			l.Dirty = true
+			return SrcUpgrade
+		}
+	}
+	// Bus GetM (read-for-ownership).
+	n.bus.Stats.GetM++
+	src := SrcMemory
+	for _, other := range n.bus.nodes {
+		if other == n {
+			continue
+		}
+		if l := other.l2.Probe(ba); l != nil {
+			if l.State == Modified || l.State == Owned {
+				src = SrcCache
+			}
+			other.l2.Invalidate(ba)
+			other.notifyInvalidate(ba)
+			n.bus.Stats.Invalidations++
+		}
+	}
+	if src == SrcCache {
+		n.bus.recordC2C(ba, now)
+	} else {
+		n.bus.Stats.MemTransfers++
+		n.bus.classifyMem(ba)
+	}
+	n.insert(ba, Modified)
+	if l := n.l2.Probe(ba); l != nil {
+		l.Dirty = true
+	}
+	return src
+}
+
+// invalidateRemotes removes every other node's copy of ba (upgrade path).
+func (n *Node) invalidateRemotes(ba uint64) {
+	for _, other := range n.bus.nodes {
+		if other == n {
+			continue
+		}
+		if _, present := other.l2.Invalidate(ba); present {
+			other.notifyInvalidate(ba)
+			n.bus.Stats.Invalidations++
+		}
+	}
+}
+
+// insert allocates ba in this node's L2, writing back a dirty victim and
+// notifying the node's L1s of the eviction.
+func (n *Node) insert(ba uint64, st cache.State) {
+	victim, had := n.l2.Allocate(ba, st)
+	if !had {
+		return
+	}
+	if victim.State == Modified || victim.State == Owned {
+		n.bus.Stats.Writebacks++
+	}
+	n.notifyInvalidate(victim.Tag)
+}
+
+// HasBlock reports the node's state for the block containing addr
+// (StateInvalid when absent). For tests and debugging.
+func (n *Node) HasBlock(addr mem.Addr) cache.State {
+	if l := n.l2.Probe(n.l2.BlockAddr(addr)); l != nil {
+		return l.State
+	}
+	return cache.StateInvalid
+}

@@ -1,0 +1,24 @@
+package core
+
+// Series is one labeled curve of a figure: X positions, Y means, and the
+// standard deviation of Y across seeds (the paper's error bars).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64
+}
+
+// Figure is the data behind one reproduced figure, ready for rendering by
+// internal/report.
+type Figure struct {
+	ID     string // "Fig 4"
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY reflect the paper's axes (e.g. cache-size sweeps).
+	LogX, LogY bool
+	Series     []Series
+	// Notes carry headline observations for EXPERIMENTS.md.
+	Notes []string
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/jvm"
+	"repro/internal/osmodel"
+)
+
+// MemScaleOpts size the Figure 11 experiment.
+type MemScaleOpts struct {
+	// Scales are the scale-factor values to sweep (warehouses / OIR).
+	Scales []int
+	// OpsPerScaleUnit is the transaction budget per scale unit for
+	// SPECjbb (per warehouse) and a fixed multiple for ECperf.
+	OpsPerScaleUnit int
+	Seed            uint64
+}
+
+// DefaultMemScaleOpts is the full-fidelity configuration.
+func DefaultMemScaleOpts() MemScaleOpts {
+	return MemScaleOpts{
+		Scales:          []int{1, 2, 4, 6, 8, 10, 15, 20, 25, 30, 35, 40},
+		OpsPerScaleUnit: 1200,
+		Seed:            20030208,
+	}
+}
+
+// QuickMemScaleOpts is the reduced test/bench configuration.
+func QuickMemScaleOpts() MemScaleOpts {
+	return MemScaleOpts{
+		Scales:          []int{1, 4, 8, 16, 32, 40},
+		OpsPerScaleUnit: 500,
+		Seed:            20030208,
+	}
+}
+
+// fig11HeapConfig fixes the heap for the memory-scaling study. The old
+// generation is sized so SPECjbb's linearly growing live set crosses the
+// major-collection threshold around 30 warehouses — the point where the
+// paper observed "the generational garbage collector begins compacting the
+// older generations" and average live memory dips.
+func fig11HeapConfig() jvm.Config {
+	c := jvm.DefaultConfig()
+	c.HeapBytes = 28 << 20
+	c.NewGenBytes = 8 << 20
+	// HotSpot 1.3-era full collections trigger on allocation failure, i.e.
+	// a nearly full old generation — not on a conservative occupancy
+	// fraction. Below the knee the old generation silently accumulates
+	// promoted garbage (inflating "heap size after GC"); once the live set
+	// approaches capacity, compaction starts and the reported live memory
+	// DROPS — the paper's dip past ~30 warehouses.
+	c.MajorOccupancy = 0.95
+	// HotSpot 1.3.1 promoted aggressively (small survivor spaces); tenured
+	// garbage accumulates between full collections.
+	c.PromoteAge = 1
+	return c
+}
+
+// memScalePoint runs one workload at one scale factor on a functional
+// uniprocessor and reports the mean heap size immediately after garbage
+// collection — the paper's live-memory metric (§4.6).
+func memScalePoint(kind Kind, scale int, o MemScaleOpts) float64 {
+	sys := buildMemScaleSystem(kind, scale, o.Seed)
+	heap := sys.Heap
+
+	var sources []osmodel.OpSource
+	totalOps := 0
+	switch kind {
+	case SPECjbb:
+		for i := 0; i < scale; i++ {
+			sources = append(sources, sys.JBB.Source(i, -1))
+		}
+		totalOps = o.OpsPerScaleUnit * scale
+	case ECperf:
+		for i := 0; i < 6; i++ {
+			sources = append(sources, sys.EC.Source(i, -1))
+		}
+		// ECperf's middle-tier op budget is independent of OIR — the
+		// larger database lives on the other machine.
+		totalOps = o.OpsPerScaleUnit * 12
+	}
+
+	now := uint64(0)
+	var samples []float64
+	lastGCs := heap.Stats.MinorGCs + heap.Stats.MajorGCs
+	for k := 0; k < totalOps; k++ {
+		src := sources[k%len(sources)]
+		op := src.NextOp(k%len(sources), now)
+		now += op.Instructions()
+		if n := heap.Stats.MinorGCs + heap.Stats.MajorGCs; n != lastGCs {
+			lastGCs = n
+			samples = append(samples, float64(heap.Stats.LiveAfterLastGC))
+		}
+	}
+	if len(samples) == 0 {
+		// No natural collection in the budget: force one for the sample.
+		gc := heap.MinorGC(nil)
+		samples = append(samples, float64(gc.LiveBytes))
+	}
+	// Mean over the second half of the run (steady state).
+	half := samples[len(samples)/2:]
+	var sum float64
+	for _, s := range half {
+		sum += s
+	}
+	return sum / float64(len(half)) / (1 << 20) // MB
+}
+
+// buildMemScaleSystem assembles a functional-only system with the Figure 11
+// heap. (BuildSystem's timing engine is unused here, but sharing the
+// assembly keeps workload wiring identical.)
+func buildMemScaleSystem(kind Kind, scale int, seed uint64) *System {
+	p := SystemParams{Kind: kind, Processors: 1, Scale: scale, Seed: seed, TotalCPUs: 2}
+	// Rebuild with the Figure 11 heap by reusing BuildSystem's wiring and
+	// swapping the heap config through a package-level hook.
+	restore := heapConfigHook
+	heapConfigHook = fig11HeapConfig
+	defer func() { heapConfigHook = restore }()
+	return BuildSystem(p)
+}
+
+// Fig11MemoryScaling reproduces Figure 11: live memory (MB, after GC)
+// versus scale factor for both workloads.
+func Fig11MemoryScaling(o MemScaleOpts) Figure {
+	f := Figure{
+		ID:     "Fig 11",
+		Title:  "Memory Use vs. Scale Factor",
+		XLabel: "Scale factor (warehouses / orders injection rate)",
+		YLabel: "Live memory (MB)",
+	}
+	for _, kind := range []Kind{ECperf, SPECjbb} {
+		s := Series{Label: kind.String()}
+		for _, scale := range o.Scales {
+			s.X = append(s.X, float64(scale))
+			s.Y = append(s.Y, memScalePoint(kind, scale, o))
+			s.Err = append(s.Err, 0)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// SharedCacheOpts size the Figure 16 CMP shared-cache study.
+type SharedCacheOpts struct {
+	// Grouping lists processors-per-shared-L2 values (the paper used
+	// 1, 2, 4, 8 on an 8-processor machine with 1 MB L2 caches).
+	Grouping      []int
+	Seeds         []uint64
+	WarmupCycles  uint64
+	MeasureCycles uint64
+}
+
+// DefaultSharedCacheOpts is the full-fidelity configuration.
+func DefaultSharedCacheOpts() SharedCacheOpts {
+	return SharedCacheOpts{
+		Grouping:      []int{1, 2, 4, 8},
+		Seeds:         stats.Seeds(20030208, 3),
+		WarmupCycles:  12_000_000,
+		MeasureCycles: 40_000_000,
+	}
+}
+
+// QuickSharedCacheOpts is the reduced test/bench configuration.
+func QuickSharedCacheOpts() SharedCacheOpts {
+	return SharedCacheOpts{
+		Grouping:      []int{1, 8},
+		Seeds:         stats.Seeds(20030208, 1),
+		WarmupCycles:  4_000_000,
+		MeasureCycles: 16_000_000,
+	}
+}
+
+// SharedCachePoint is one (workload, grouping) measurement.
+type SharedCachePoint struct {
+	CPUsPerL2         int
+	DataMissesPer1000 *stats.Summary
+}
+
+// RunSharedCachePoint measures L2 data misses per 1000 instructions on an
+// 8-processor machine with the given L2 grouping. SPECjbb runs at 25
+// warehouses (the paper's capacity-stressing configuration); ECperf at its
+// standard injection rate. Seeds run concurrently (each is an independent
+// single-threaded simulation); the summary order is deterministic.
+func RunSharedCachePoint(kind Kind, cpusPerL2 int, o SharedCacheOpts) SharedCachePoint {
+	pt := SharedCachePoint{CPUsPerL2: cpusPerL2, DataMissesPer1000: &stats.Summary{}}
+	scale := 0
+	if kind == SPECjbb {
+		scale = 25
+	}
+	vals := make([]float64, len(o.Seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(o.Seeds) {
+		workers = len(o.Seeds)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range ch {
+				sys := BuildSystem(SystemParams{
+					Kind:       kind,
+					Processors: 8,
+					TotalCPUs:  8,
+					CPUsPerL2:  cpusPerL2,
+					Scale:      scale,
+					Seed:       o.Seeds[si],
+				})
+				eng := sys.Engine
+				eng.Run(o.WarmupCycles)
+				eng.ResetStats()
+				eng.Run(o.WarmupCycles + o.MeasureCycles)
+				res := eng.Results()
+				vals[si] = sys.Hier.DataMissesPer1000(res.CPU.Instructions)
+			}
+		}()
+	}
+	for si := range o.Seeds {
+		ch <- si
+	}
+	close(ch)
+	wg.Wait()
+	for _, v := range vals {
+		pt.DataMissesPer1000.Add(v)
+	}
+	return pt
+}
+
+// RunSharedCachePointDebug runs one grouping with the region-miss
+// classifier enabled and returns a diagnostic string (calibration aid).
+func RunSharedCachePointDebug(kind Kind, cpusPerL2 int, o SharedCacheOpts) string {
+	scale := 0
+	if kind == SPECjbb {
+		scale = 25
+	}
+	sys := BuildSystem(SystemParams{
+		Kind: kind, Processors: 8, TotalCPUs: 8, CPUsPerL2: cpusPerL2,
+		Scale: scale, Seed: o.Seeds[0],
+	})
+	sys.Hier.Bus().ClassifyAddr = regionClassifier(sys)
+	eng := sys.Engine
+	eng.Run(o.WarmupCycles)
+	eng.ResetStats()
+	eng.Run(o.WarmupCycles + o.MeasureCycles)
+	res := eng.Results()
+	instr := float64(res.CPU.Instructions)
+	bs := sys.Hier.Bus().Stats
+	mc := sys.Hier.Bus().MissClass
+	return fmt.Sprintf("dmiss=%.2f c2c=%.2f mem=%.2f memclass[code=%.2f kern=%.2f eden=%.2f surv=%.2f old=%.2f perm=%.2f oth=%.2f] thr=%d",
+		sys.Hier.DataMissesPer1000(res.CPU.Instructions),
+		1000*float64(bs.C2CTransfers)/instr, 1000*float64(bs.MemTransfers)/instr,
+		1000*float64(mc[0])/instr, 1000*float64(mc[1])/instr, 1000*float64(mc[2])/instr,
+		1000*float64(mc[3])/instr, 1000*float64(mc[4])/instr, 1000*float64(mc[5])/instr,
+		1000*float64(mc[6])/instr, res.BusinessOps)
+}
+
+// Fig16SharedCaches reproduces Figure 16: data miss rate with 1/2/4/8
+// processors per shared 1 MB L2 cache, for ECperf and SPECjbb-25. Sharing
+// helps ECperf (coherence misses vanish, small footprint) and hurts
+// SPECjbb-25 (the emulated database no longer fits).
+func Fig16SharedCaches(o SharedCacheOpts) Figure {
+	f := Figure{
+		ID:     "Fig 16",
+		Title:  "Cache Miss Rate on Shared Caches (Processors Per Shared 1 MB Cache)",
+		XLabel: "Processors per shared L2",
+		YLabel: "Data misses / 1000 instructions",
+	}
+	for _, kind := range []Kind{ECperf, SPECjbb} {
+		label := kind.String()
+		if kind == SPECjbb {
+			label = "SPECjbb-25"
+		}
+		s := Series{Label: label}
+		for _, g := range o.Grouping {
+			pt := RunSharedCachePoint(kind, g, o)
+			s.X = append(s.X, float64(g))
+			s.Y = append(s.Y, pt.DataMissesPer1000.Mean())
+			s.Err = append(s.Err, pt.DataMissesPer1000.StdDev())
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/ifetch"
+	"repro/internal/mem"
+	"repro/internal/osmodel"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// feeder expands recorded operations into reference streams for the
+// one-pass multi-configuration cache sweeper — the Simics+Sumo flow behind
+// Figures 12 and 13. It is purely functional: no timing, one processor.
+type feeder struct {
+	sweepI *cache.Sweep
+	sweepD *cache.Sweep
+	gen    *ifetch.Gen
+	instr  uint64
+}
+
+func newFeeder(layout *ifetch.CodeLayout, rng *simrand.Rand, icfgs, dcfgs []cache.Config) *feeder {
+	return &feeder{
+		sweepI: cache.NewSweep(icfgs),
+		sweepD: cache.NewSweep(dcfgs),
+		gen:    ifetch.NewGen(layout, rng),
+	}
+}
+
+func (f *feeder) feedItems(items []trace.Item) {
+	for i := range items {
+		it := &items[i]
+		switch it.Kind {
+		case trace.KindInstr:
+			f.instr += uint64(it.N)
+			f.gen.Segment(it.Comp, uint64(it.N), func(a mem.Addr) {
+				f.sweepI.Access(a, mem.IFetch)
+			})
+		case trace.KindRead:
+			f.sweepD.AccessRange(it.Addr, uint64(it.N), mem.Read)
+		case trace.KindWrite:
+			f.sweepD.AccessRange(it.Addr, uint64(it.N), mem.Write)
+		case trace.KindGCPause:
+			if it.GC != nil {
+				f.feedItems(it.GC.Items)
+			}
+		}
+	}
+}
+
+func (f *feeder) reset() {
+	f.sweepI.ResetStats()
+	f.sweepD.ResetStats()
+	f.instr = 0
+}
+
+func (f *feeder) curves() (icurve, dcurve []cache.Point) {
+	f.sweepI.CountInstructions(f.instr)
+	f.sweepD.CountInstructions(f.instr)
+	return f.sweepI.MissCurve(), f.sweepD.MissCurve()
+}
+
+// SweepOpts size the uniprocessor cache-sweep experiment.
+type SweepOpts struct {
+	// WarmupOps and MeasureOps are per-thread operation counts.
+	WarmupOps, MeasureOps int
+	Seed                  uint64
+}
+
+// DefaultSweepOpts is the full-fidelity configuration.
+func DefaultSweepOpts() SweepOpts {
+	return SweepOpts{WarmupOps: 120, MeasureOps: 600, Seed: 20030208}
+}
+
+// QuickSweepOpts is the reduced test/bench configuration.
+func QuickSweepOpts() SweepOpts {
+	return SweepOpts{WarmupOps: 30, MeasureOps: 120, Seed: 20030208}
+}
+
+// SweepResult is one workload configuration's miss curves.
+type SweepResult struct {
+	Label  string
+	ICurve []cache.Point
+	DCurve []cache.Point
+}
+
+// runUniSweep builds the workload on a uniprocessor machine and streams
+// its operations (round-robin over threads, like a time-shared CPU)
+// through the sweeper.
+func runUniSweep(kind Kind, scale int, label string, o SweepOpts) SweepResult {
+	return runUniSweepConfigs(kind, scale, label, o,
+		cache.SizeSweepConfigs("I"), cache.SizeSweepConfigs("D"))
+}
+
+// runUniSweepConfigs is runUniSweep over arbitrary cache geometries.
+func runUniSweepConfigs(kind Kind, scale int, label string, o SweepOpts, icfgs, dcfgs []cache.Config) SweepResult {
+	sys := BuildSystem(SystemParams{Kind: kind, Processors: 1, Scale: scale, Seed: o.Seed})
+	f := newFeeder(sys.Layout, simrand.New(o.Seed).Derive(77), icfgs, dcfgs)
+
+	var sources []osmodel.OpSource
+	switch kind {
+	case SPECjbb:
+		for i := 0; i < scale; i++ {
+			sources = append(sources, sys.JBB.Source(i, -1))
+		}
+	case ECperf:
+		// A uniprocessor app server still runs a small thread pool.
+		for i := 0; i < 6; i++ {
+			sources = append(sources, sys.EC.Source(i, -1))
+		}
+	}
+
+	now := uint64(0)
+	feedRound := func(ops int) {
+		for k := 0; k < ops; k++ {
+			for tid, src := range sources {
+				op := src.NextOp(tid, now)
+				f.feedItems(op.Items)
+				now += op.Instructions() // ~1 cycle/instr on the uniprocessor
+			}
+		}
+	}
+	feedRound(o.WarmupOps)
+	f.reset()
+	feedRound(o.MeasureOps)
+	ic, dc := f.curves()
+	return SweepResult{Label: label, ICurve: ic, DCurve: dc}
+}
+
+// CacheSweeps holds the four workload configurations of Figures 12/13.
+type CacheSweeps struct {
+	Results []SweepResult // ECperf, SPECjbb-25, SPECjbb-10, SPECjbb-1
+}
+
+// RunCacheSweeps runs the paper's four uniprocessor configurations. The
+// runs are independent and execute concurrently; result order is fixed.
+func RunCacheSweeps(o SweepOpts) *CacheSweeps {
+	type spec struct {
+		kind  Kind
+		scale int
+		label string
+	}
+	specs := []spec{
+		{ECperf, 10, "ECperf"},
+		{SPECjbb, 25, "SPECjbb-25"},
+		{SPECjbb, 10, "SPECjbb-10"},
+		{SPECjbb, 1, "SPECjbb-1"},
+	}
+	out := make([]SweepResult, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp spec) {
+			defer wg.Done()
+			out[i] = runUniSweep(sp.kind, sp.scale, sp.label, o)
+		}(i, sp)
+	}
+	wg.Wait()
+	return &CacheSweeps{Results: out}
+}
+
+func curveFigure(id, title string, cs *CacheSweeps, pick func(SweepResult) []cache.Point) Figure {
+	f := Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Cache Size (KB)",
+		YLabel: "Misses / 1000 instructions",
+		LogX:   true,
+		LogY:   true,
+	}
+	for _, r := range cs.Results {
+		s := Series{Label: r.Label}
+		for _, p := range pick(r) {
+			s.X = append(s.X, float64(p.SizeBytes)/1024)
+			s.Y = append(s.Y, p.MissesPer1000)
+			s.Err = append(s.Err, 0)
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// Fig12ICacheMissRate reproduces Figure 12: instruction-cache miss rate
+// versus cache size (64 KB–16 MB, 4-way, 64 B blocks) on a uniprocessor.
+func Fig12ICacheMissRate(cs *CacheSweeps) Figure {
+	f := curveFigure("Fig 12", "Instruction Cache Miss Rate", cs,
+		func(r SweepResult) []cache.Point { return r.ICurve })
+	f.Notes = append(f.Notes, fmt.Sprintf(
+		"ECperf I-miss at 256KB = %.3f/1000 vs SPECjbb-25 = %.3f/1000",
+		missAt(cs, "ECperf", 256<<10, true), missAt(cs, "SPECjbb-25", 256<<10, true)))
+	return f
+}
+
+// Fig13DCacheMissRate reproduces Figure 13: data-cache miss rate versus
+// cache size, with SPECjbb at 1, 10, and 25 warehouses.
+func Fig13DCacheMissRate(cs *CacheSweeps) Figure {
+	f := curveFigure("Fig 13", "Data Cache Miss Rate", cs,
+		func(r SweepResult) []cache.Point { return r.DCurve })
+	f.Notes = append(f.Notes, fmt.Sprintf(
+		"D-miss at 1MB: ECperf=%.3f, SPECjbb-1=%.3f, SPECjbb-10=%.3f, SPECjbb-25=%.3f (/1000 instr)",
+		missAt(cs, "ECperf", 1<<20, false), missAt(cs, "SPECjbb-1", 1<<20, false),
+		missAt(cs, "SPECjbb-10", 1<<20, false), missAt(cs, "SPECjbb-25", 1<<20, false)))
+	return f
+}
+
+// GeometryMode selects the swept cache dimension.
+type GeometryMode int
+
+const (
+	// SweepSize: 64 KB-16 MB at 4-way/64 B (the paper's Figures 12/13).
+	SweepSize GeometryMode = iota
+	// SweepAssoc: 1-16 ways at a fixed size (a dimension the paper's
+	// simulator supported, §3.3 — supplemental here).
+	SweepAssoc
+	// SweepBlock: 16-256 B blocks at a fixed size (ditto).
+	SweepBlock
+)
+
+// RunGeometrySweeps runs the uniprocessor sweeps along the chosen
+// dimension; fixedBytes is the cache size for the non-size modes.
+func RunGeometrySweeps(o SweepOpts, mode GeometryMode, fixedBytes int) *CacheSweeps {
+	mk := func(name string) []cache.Config {
+		switch mode {
+		case SweepAssoc:
+			return cache.AssocSweepConfigs(name, fixedBytes)
+		case SweepBlock:
+			return cache.BlockSweepConfigs(name, fixedBytes)
+		default:
+			return cache.SizeSweepConfigs(name)
+		}
+	}
+	run := func(kind Kind, scale int, label string) SweepResult {
+		return runUniSweepConfigs(kind, scale, label, o, mk("I"), mk("D"))
+	}
+	return &CacheSweeps{Results: []SweepResult{
+		run(ECperf, 10, "ECperf"),
+		run(SPECjbb, 25, "SPECjbb-25"),
+		run(SPECjbb, 10, "SPECjbb-10"),
+		run(SPECjbb, 1, "SPECjbb-1"),
+	}}
+}
+
+// missAt reads one point off a sweep curve (for notes and tests).
+func missAt(cs *CacheSweeps, label string, size int, instruction bool) float64 {
+	for _, r := range cs.Results {
+		if r.Label != label {
+			continue
+		}
+		curve := r.DCurve
+		if instruction {
+			curve = r.ICurve
+		}
+		for _, p := range curve {
+			if p.SizeBytes == size {
+				return p.MissesPer1000
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,391 @@
+// Package jvm simulates the memory behavior of a Java virtual machine of
+// the HotSpot 1.3.1 generation the paper ran: a generational heap (eden, two
+// survivor semi-spaces, an old generation), per-thread TLAB bump allocation,
+// a write barrier with a remembered set, and a single-threaded stop-the-world
+// collector — a copying collector for the new generation and a mark-compact
+// collector for the old generation.
+//
+// The heap holds a *real* object graph: workloads allocate objects, link
+// them with SetRef, and read them back; the collector traces actual
+// reachability and copies actual live objects, emitting its own memory
+// references into the operation trace. That realism is what makes the
+// paper's GC observations reproducible here: Figure 10's collapse of
+// cache-to-cache transfers during collection, Figure 11's live-memory
+// scaling (and its dip once old-generation compaction begins), and
+// Figure 9's modest GC share of total time.
+//
+// Contract: workload code may only retain ObjectIDs that are reachable from
+// registered roots. IDs of unreachable objects are recycled by the collector.
+package jvm
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// ObjectID names a heap object. IDs are stable across copying collections
+// (only addresses move); IDs of collected objects are recycled.
+type ObjectID uint32
+
+// NilObject is the null reference.
+const NilObject ObjectID = 0
+
+// HeaderBytes is the object header size; it is also the minimum object size.
+const HeaderBytes = 16
+
+// Config sizes the simulated heap. All sizes in bytes. The defaults model
+// the paper's tuning (1424 MB heap, 400 MB new generation) scaled down ~20×
+// so that simulations run at workstation speed; the scaling preserves the
+// ratios that drive GC behavior.
+type Config struct {
+	HeapBytes      uint64  // total heap
+	NewGenBytes    uint64  // eden + two survivors
+	SurvivorFrac   float64 // fraction of new gen per survivor space (default 0.1)
+	TLABBytes      uint64  // per-thread allocation buffer
+	LargeObject    uint64  // objects >= this allocate directly in old gen
+	PromoteAge     uint8   // survived copies before promotion to old gen
+	MajorOccupancy float64 // old-gen occupancy fraction that triggers a major GC
+
+	// GCComp is the code component the collector's instructions belong to.
+	GCComp mem.ComponentID
+	// MinorBaseInstr/MajorBaseInstr are fixed per-collection path lengths;
+	// PerObjInstr and PerByteInstr scale with copied work.
+	MinorBaseInstr uint32
+	MajorBaseInstr uint32
+	PerObjInstr    uint32
+	PerByteInstr   float64
+}
+
+// DefaultConfig returns the scaled-down default heap configuration.
+func DefaultConfig() Config {
+	return Config{
+		HeapBytes:      72 << 20,
+		NewGenBytes:    20 << 20,
+		SurvivorFrac:   0.10,
+		TLABBytes:      16 << 10,
+		LargeObject:    32 << 10,
+		PromoteAge:     2,
+		MajorOccupancy: 0.80,
+		MinorBaseInstr: 30_000,
+		MajorBaseInstr: 150_000,
+		PerObjInstr:    24,
+		PerByteInstr:   0.3,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NewGenBytes >= c.HeapBytes {
+		return fmt.Errorf("jvm: new gen (%d) must be smaller than heap (%d)", c.NewGenBytes, c.HeapBytes)
+	}
+	if c.SurvivorFrac <= 0 || c.SurvivorFrac >= 0.5 {
+		return fmt.Errorf("jvm: survivor fraction %v out of (0, 0.5)", c.SurvivorFrac)
+	}
+	if c.TLABBytes < 1024 {
+		return fmt.Errorf("jvm: TLAB %d too small", c.TLABBytes)
+	}
+	if c.MajorOccupancy <= 0 || c.MajorOccupancy > 1 {
+		return fmt.Errorf("jvm: major occupancy %v out of (0, 1]", c.MajorOccupancy)
+	}
+	return nil
+}
+
+type object struct {
+	addr  mem.Addr
+	size  uint32
+	refs  []ObjectID
+	age   uint8
+	young bool
+	live  bool // slot in use (false = recycled)
+	mark  bool // scratch for GC
+}
+
+// Stats reports collector activity.
+type Stats struct {
+	MinorGCs        uint64
+	MajorGCs        uint64
+	AllocatedBytes  uint64
+	AllocatedObjs   uint64
+	PromotedBytes   uint64
+	CopiedBytes     uint64
+	LiveAfterLastGC uint64 // heap bytes in use immediately after the last GC
+	GCInstructions  uint64
+}
+
+// Heap is one simulated JVM heap. Not safe for concurrent use; the
+// simulator is single-threaded per run.
+type Heap struct {
+	cfg Config
+
+	eden mem.Region
+	surv [2]mem.Region
+	old  mem.Region
+	perm mem.Region // permanent region: monitors, statics; never collected
+
+	from int // index of the from-survivor (live objects reside here)
+
+	edenNext mem.Addr
+	survNext mem.Addr // allocation cursor in to-survivor during GC
+	oldNext  mem.Addr
+	permNext mem.Addr
+
+	objects []object
+	freeIDs []ObjectID
+	roots   map[ObjectID]struct{}
+	remset  map[ObjectID]struct{} // old objects that may hold young refs
+	// stackRoots model each thread's stack/registers: every allocation is
+	// reachable from its allocating thread's frame until the thread
+	// finishes the operation (ClearStack). Without them, a collection
+	// triggered mid-construction would reap an object that has been
+	// allocated but not yet linked into the graph.
+	stackRoots map[int][]ObjectID
+	tlabs      map[int]*tlab
+	oldUsed    uint64 // bytes bump-allocated in old gen since last compaction
+
+	monitorSeq uint64
+
+	Stats Stats
+}
+
+type tlab struct {
+	cur, end mem.Addr
+}
+
+// NewHeap carves the heap's regions out of the machine's address space.
+func NewHeap(space *mem.AddrSpace, cfg Config) (*Heap, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	survBytes := uint64(float64(cfg.NewGenBytes) * cfg.SurvivorFrac)
+	edenBytes := cfg.NewGenBytes - 2*survBytes
+	h := &Heap{
+		cfg:        cfg,
+		eden:       space.Reserve("heap:eden", edenBytes),
+		old:        space.Reserve("heap:old", cfg.HeapBytes-cfg.NewGenBytes),
+		perm:       space.Reserve("heap:perm", 4<<20),
+		roots:      make(map[ObjectID]struct{}),
+		remset:     make(map[ObjectID]struct{}),
+		stackRoots: make(map[int][]ObjectID),
+		tlabs:      make(map[int]*tlab),
+		objects:    make([]object, 1), // slot 0 = NilObject
+	}
+	h.surv[0] = space.Reserve("heap:surv0", survBytes)
+	h.surv[1] = space.Reserve("heap:surv1", survBytes)
+	h.edenNext = h.eden.Base
+	h.oldNext = h.old.Base
+	h.permNext = h.perm.Base
+	return h, nil
+}
+
+// MustNewHeap is NewHeap for static configurations; it panics on error.
+func MustNewHeap(space *mem.AddrSpace, cfg Config) *Heap {
+	h, err := NewHeap(space, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// Addr returns the current address of an object. Addresses are only valid
+// until the next collection.
+func (h *Heap) Addr(id ObjectID) mem.Addr { return h.objects[id].addr }
+
+// Size returns the object's size in bytes.
+func (h *Heap) Size(id ObjectID) uint32 { return h.objects[id].size }
+
+// NumRefs returns the number of reference slots in the object.
+func (h *Heap) NumRefs(id ObjectID) int { return len(h.objects[id].refs) }
+
+// IsLive reports whether the ID currently names an object (for tests).
+func (h *Heap) IsLive(id ObjectID) bool {
+	return id != NilObject && int(id) < len(h.objects) && h.objects[id].live
+}
+
+// IsYoung reports whether the object is in the new generation (for tests).
+func (h *Heap) IsYoung(id ObjectID) bool { return h.objects[id].young }
+
+// EdenUsed returns bytes currently bump-allocated in eden (including
+// unparceled TLAB space).
+func (h *Heap) EdenUsed() uint64 { return uint64(h.edenNext - h.eden.Base) }
+
+// OldUsed returns bytes in use in the old generation (including garbage not
+// yet compacted away — this is the "heap size" a JVM would report, and what
+// Figure 11 plots).
+func (h *Heap) OldUsed() uint64 { return h.oldUsed }
+
+// AddRoot registers a GC root.
+func (h *Heap) AddRoot(id ObjectID) {
+	if id != NilObject {
+		h.roots[id] = struct{}{}
+	}
+}
+
+// RemoveRoot unregisters a GC root.
+func (h *Heap) RemoveRoot(id ObjectID) { delete(h.roots, id) }
+
+func (h *Heap) newID() ObjectID {
+	if n := len(h.freeIDs); n > 0 {
+		id := h.freeIDs[n-1]
+		h.freeIDs = h.freeIDs[:n-1]
+		return id
+	}
+	h.objects = append(h.objects, object{})
+	return ObjectID(len(h.objects) - 1)
+}
+
+func pad(size uint32) uint32 {
+	if size < HeaderBytes {
+		size = HeaderBytes
+	}
+	return (size + 7) &^ 7
+}
+
+// Alloc allocates an object of the given size with nRefs reference slots,
+// on behalf of thread tid, recording the initializing writes (Java zeroes
+// new objects). It may trigger a stop-the-world collection, which is
+// recorded into rec. The new object is unreachable until rooted or linked;
+// allocate-then-link promptly.
+func (h *Heap) Alloc(rec *trace.Recorder, tid int, size uint32, nRefs int) ObjectID {
+	size = pad(size)
+	var addr mem.Addr
+	if uint64(size) >= h.cfg.LargeObject {
+		addr = h.allocOld(rec, uint64(size))
+	} else {
+		addr = h.allocTLAB(rec, tid, uint64(size))
+	}
+	id := h.newID()
+	h.objects[id] = object{addr: addr, size: size, young: h.inYoung(addr), live: true}
+	if nRefs > 0 {
+		h.objects[id].refs = make([]ObjectID, nRefs)
+	}
+	h.Stats.AllocatedBytes += uint64(size)
+	h.Stats.AllocatedObjs++
+	h.stackRoots[tid] = append(h.stackRoots[tid], id)
+	rec.Write(addr, size) // zeroing + header init
+	return id
+}
+
+// ClearStack pops thread tid's stack roots: objects it allocated are no
+// longer pinned by its frame. Workloads call this at the end of each
+// operation; anything not linked into the rooted graph becomes garbage.
+func (h *Heap) ClearStack(tid int) {
+	if s := h.stackRoots[tid]; len(s) > 0 {
+		h.stackRoots[tid] = s[:0]
+	}
+}
+
+// AllocPermanent allocates a never-collected, never-moved object (class
+// metadata, monitors, JVM statics). Permanent objects are implicit roots.
+func (h *Heap) AllocPermanent(rec *trace.Recorder, size uint32, nRefs int) ObjectID {
+	size = pad(size)
+	if uint64(h.permNext-h.perm.Base)+uint64(size) > h.perm.Size {
+		panic("jvm: permanent region exhausted")
+	}
+	addr := h.permNext
+	h.permNext += mem.Addr(size)
+	id := h.newID()
+	h.objects[id] = object{addr: addr, size: size, live: true}
+	if nRefs > 0 {
+		h.objects[id].refs = make([]ObjectID, nRefs)
+	}
+	h.AddRoot(id)
+	rec.Write(addr, size)
+	return id
+}
+
+func (h *Heap) inYoung(a mem.Addr) bool {
+	return h.eden.Contains(a) || h.surv[0].Contains(a) || h.surv[1].Contains(a)
+}
+
+func (h *Heap) allocTLAB(rec *trace.Recorder, tid int, size uint64) mem.Addr {
+	t := h.tlabs[tid]
+	if t == nil {
+		t = &tlab{}
+		h.tlabs[tid] = t
+	}
+	if t.cur+mem.Addr(size) > t.end {
+		// Need a fresh TLAB from eden.
+		want := h.cfg.TLABBytes
+		if size > want {
+			want = size
+		}
+		if uint64(h.edenNext-h.eden.Base)+want > h.eden.Size {
+			h.MinorGC(rec)
+			// After a minor GC eden is empty; if the request still cannot
+			// fit, the configuration is broken.
+			if want > h.eden.Size {
+				panic("jvm: allocation larger than eden")
+			}
+		}
+		t.cur = h.edenNext
+		t.end = h.edenNext + mem.Addr(want)
+		h.edenNext += mem.Addr(want)
+	}
+	a := t.cur
+	t.cur += mem.Addr(size)
+	return a
+}
+
+func (h *Heap) allocOld(rec *trace.Recorder, size uint64) mem.Addr {
+	if h.oldUsed+size > h.old.Size {
+		h.MajorGC(rec)
+		if h.oldUsed+size > h.old.Size {
+			panic("jvm: old generation exhausted even after major GC")
+		}
+	}
+	a := h.oldNext
+	h.oldNext += mem.Addr(size)
+	h.oldUsed += size
+	return a
+}
+
+// SetRef stores a reference into the object's slot, recording the store and
+// maintaining the generational write barrier (remembered set).
+func (h *Heap) SetRef(rec *trace.Recorder, from ObjectID, slot int, to ObjectID) {
+	o := &h.objects[from]
+	o.refs[slot] = to
+	rec.Write(o.addr+HeaderBytes+mem.Addr(slot)*8, 8)
+	if to != NilObject && !o.young && h.objects[to].young {
+		h.remset[from] = struct{}{}
+	}
+}
+
+// GetRef loads a reference from the object's slot, recording the load.
+func (h *Heap) GetRef(rec *trace.Recorder, from ObjectID, slot int) ObjectID {
+	o := &h.objects[from]
+	rec.Read(o.addr+HeaderBytes+mem.Addr(slot)*8, 8)
+	return o.refs[slot]
+}
+
+// fieldAddr returns the address of the field-th 8-byte scalar slot, clamped
+// into the object so an out-of-range index cannot touch a neighbor.
+func (h *Heap) fieldAddr(id ObjectID, field int) mem.Addr {
+	o := &h.objects[id]
+	off := mem.Addr(HeaderBytes + field*8)
+	if off+8 > mem.Addr(o.size) {
+		off = mem.Addr(o.size) - 8
+	}
+	return o.addr + off
+}
+
+// ReadField records a load of one non-reference field (8 bytes) at the
+// given field index.
+func (h *Heap) ReadField(rec *trace.Recorder, id ObjectID, field int) {
+	rec.Read(h.fieldAddr(id, field), 8)
+}
+
+// WriteField records a store of one non-reference field (8 bytes).
+func (h *Heap) WriteField(rec *trace.Recorder, id ObjectID, field int) {
+	rec.Write(h.fieldAddr(id, field), 8)
+}
+
+// ReadObject records a scan of the whole object (e.g. a field-by-field copy
+// or a toString-style traversal).
+func (h *Heap) ReadObject(rec *trace.Recorder, id ObjectID) {
+	o := &h.objects[id]
+	rec.Read(o.addr, o.size)
+}

@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLine(t *testing.T) {
+	cases := []struct{ in, want Addr }{
+		{0, 0}, {1, 0}, {63, 0}, {64, 64}, {127, 64}, {128, 128},
+	}
+	for _, c := range cases {
+		if got := Line(c.in); got != c.want {
+			t.Errorf("Line(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		size uint64
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{63, 1, 1},
+		{64, 128, 2},
+		{100, 200, 4}, // 100..299 spans lines 64,128,192,256
+	}
+	for _, c := range cases {
+		if got := LinesSpanned(c.a, c.size); got != c.want {
+			t.Errorf("LinesSpanned(%d,%d) = %d, want %d", c.a, c.size, got, c.want)
+		}
+	}
+}
+
+func TestQuickLinesSpannedConsistent(t *testing.T) {
+	f := func(a uint32, size uint16) bool {
+		if size == 0 {
+			return LinesSpanned(Addr(a), 0) == 0
+		}
+		n := LinesSpanned(Addr(a), uint64(size))
+		// Count lines the slow way.
+		var slow uint64
+		seen := Addr(0xffffffffffffffff)
+		for off := uint64(0); off < uint64(size); off++ {
+			l := Line(Addr(a) + off)
+			if l != seen {
+				slow++
+				seen = l
+			}
+		}
+		return n == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrSpaceNonOverlapping(t *testing.T) {
+	s := NewAddrSpace()
+	a := s.Reserve("a", 1000)
+	b := s.Reserve("b", 5<<20)
+	c := s.Reserve("c", 1)
+	regions := []Region{a, b, c}
+	for i := range regions {
+		if regions[i].Base == 0 {
+			t.Fatal("region at address 0")
+		}
+		if regions[i].Base%regionAlign != 0 {
+			t.Fatalf("region %s not aligned", regions[i].Name)
+		}
+		for j := i + 1; j < len(regions); j++ {
+			ri, rj := regions[i], regions[j]
+			if ri.Base < rj.End() && rj.Base < ri.End() {
+				t.Fatalf("regions %s and %s overlap", ri.Name, rj.Name)
+			}
+		}
+	}
+}
+
+func TestAddrSpaceFindRegion(t *testing.T) {
+	s := NewAddrSpace()
+	a := s.Reserve("a", 100)
+	if got, ok := s.FindRegion(a.Base + 50); !ok || got.Name != "a" {
+		t.Fatal("FindRegion missed interior address")
+	}
+	if _, ok := s.FindRegion(a.Base + 100); ok {
+		t.Fatal("FindRegion matched end address")
+	}
+	if _, ok := s.FindRegion(0); ok {
+		t.Fatal("FindRegion matched address 0")
+	}
+}
+
+func TestReservePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAddrSpace().Reserve("zero", 0)
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Name: "x", Base: 128, Size: 64}
+	if !r.Contains(128) || !r.Contains(191) || r.Contains(192) || r.Contains(127) {
+		t.Fatal("Contains boundaries wrong")
+	}
+}
+
+func TestAccessTypeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || IFetch.String() != "ifetch" {
+		t.Fatal("access type names wrong")
+	}
+}

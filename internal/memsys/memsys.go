@@ -1,0 +1,361 @@
+// Package memsys assembles the machine's memory hierarchy: per-processor
+// split L1 instruction and data caches in front of MOSI-coherent L2 caches
+// on a snooping bus, with main memory behind it.
+//
+// The E6000 the paper measured had one private 1 MB L2 per processor; the
+// CMP study of Figure 16 instead shares one L2 among 2, 4, or 8 processors.
+// Both shapes are the same Hierarchy here, parameterized by CPUsPerL2.
+//
+// Every data access is classified into the stall categories of the paper's
+// Figure 7 — L1 hit (no stall), L2 hit, cache-to-cache transfer, memory,
+// plus the upgrade case — and charged the corresponding latency. The
+// latencies default to E6000-like values where a cache-to-cache transfer is
+// ~40% slower than a memory access (§4.3).
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// Latencies are stall cycles charged by data source. L1 hits are fully
+// pipelined and charge nothing.
+type Latencies struct {
+	L2Hit   uint64
+	Memory  uint64
+	C2C     uint64 // cache-to-cache transfer (snoop copyback)
+	Upgrade uint64 // ownership upgrade, no data movement
+}
+
+// DefaultLatencies returns E6000-flavored latencies at 248 MHz scale:
+// memory ~75 cycles, cache-to-cache 40% longer (§4.3 of the paper).
+func DefaultLatencies() Latencies {
+	return Latencies{L2Hit: 10, Memory: 75, C2C: 105, Upgrade: 20}
+}
+
+// StallClass classifies where a data access was served, for the Figure 7
+// breakdown.
+type StallClass uint8
+
+const (
+	// StallNone: L1 hit.
+	StallNone StallClass = iota
+	// StallL2Hit: served by the local L2 (includes upgrades).
+	StallL2Hit
+	// StallC2C: served by another cache over the bus.
+	StallC2C
+	// StallMem: served by main memory.
+	StallMem
+)
+
+// String names the stall class.
+func (s StallClass) String() string {
+	switch s {
+	case StallNone:
+		return "l1"
+	case StallL2Hit:
+		return "l2hit"
+	case StallC2C:
+		return "c2c"
+	case StallMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("StallClass(%d)", uint8(s))
+	}
+}
+
+// Result reports one access's timing. TLBStall is reported separately from
+// the cache stall: it is a software-refill trap, not a memory access.
+type Result struct {
+	Stall    uint64
+	TLBStall uint64
+	Class    StallClass
+}
+
+// Config describes the hierarchy's shape.
+type Config struct {
+	CPUs      int
+	CPUsPerL2 int // 1 = private L2s (E6000); 2/4/8 = shared-cache CMP (Fig 16)
+	L1I, L1D  cache.Config
+	L2        cache.Config
+	Lat       Latencies
+	// DTLB, when non-nil, puts a data TLB in front of each processor's
+	// data accesses. The paper's runs used Solaris ISM (4 MB pages), which
+	// makes the TLB effectively transparent; the ISM ablation sets base
+	// 8 KB pages here and measures the damage (§6 of the paper).
+	DTLB *tlb.Config
+}
+
+// DefaultConfig returns the E6000-like baseline: 16 KB split L1s and a
+// private 1 MB 4-way L2 per processor, 64-byte blocks everywhere.
+func DefaultConfig(cpus int) Config {
+	return Config{
+		CPUs:      cpus,
+		CPUsPerL2: 1,
+		L1I:       cache.Config{Name: "L1I", SizeBytes: 16 << 10, Assoc: 2, BlockBytes: 64},
+		L1D:       cache.Config{Name: "L1D", SizeBytes: 16 << 10, Assoc: 2, BlockBytes: 64},
+		L2:        cache.Config{Name: "L2", SizeBytes: 1 << 20, Assoc: 4, BlockBytes: 64},
+		Lat:       DefaultLatencies(),
+	}
+}
+
+// Validate checks the shape.
+func (c Config) Validate() error {
+	if c.CPUs <= 0 {
+		return fmt.Errorf("memsys: %d CPUs", c.CPUs)
+	}
+	if c.CPUsPerL2 <= 0 || c.CPUs%c.CPUsPerL2 != 0 {
+		return fmt.Errorf("memsys: %d CPUs not divisible into groups of %d", c.CPUs, c.CPUsPerL2)
+	}
+	if c.L1I.BlockBytes != c.L2.BlockBytes || c.L1D.BlockBytes != c.L2.BlockBytes {
+		return fmt.Errorf("memsys: L1/L2 block sizes differ")
+	}
+	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// L1 states: lines loaded by reads are held Shared; lines written are held
+// Modified. A write to a Shared L1 line must consult the L2/bus.
+const (
+	l1Shared   cache.State = 1
+	l1Modified cache.State = 2
+)
+
+type cpuPort struct {
+	l1i, l1d *cache.Cache
+	dtlb     *tlb.TLB // nil when translation is not modeled
+	node     *coherence.Node
+	group    []int // CPU IDs sharing this port's node (including self)
+}
+
+// Hierarchy is one machine's assembled memory system.
+type Hierarchy struct {
+	cfg   Config
+	bus   *coherence.Bus
+	ports []*cpuPort
+
+	// DataMisses and FetchMisses count bus-level (L2) misses that moved
+	// data, split by access kind — Figure 16 plots the data side.
+	DataMisses  uint64
+	FetchMisses uint64
+}
+
+// New builds the hierarchy. It panics on an invalid config (static
+// experiment configuration).
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{cfg: cfg, bus: coherence.NewBus()}
+	groups := cfg.CPUs / cfg.CPUsPerL2
+	ports := make([]*cpuPort, cfg.CPUs)
+	for g := 0; g < groups; g++ {
+		members := make([]int, cfg.CPUsPerL2)
+		for i := range members {
+			members[i] = g*cfg.CPUsPerL2 + i
+		}
+		// The node's invalidation hook maintains L1 inclusion for every
+		// processor behind this L2.
+		groupPorts := make([]*cpuPort, 0, cfg.CPUsPerL2)
+		node := h.bus.AddNode(cache.New(cfg.L2), func(ba uint64) {
+			for _, p := range groupPorts {
+				p.l1i.Invalidate(ba)
+				p.l1d.Invalidate(ba)
+			}
+		})
+		for _, cpu := range members {
+			p := &cpuPort{
+				l1i:   cache.New(cfg.L1I),
+				l1d:   cache.New(cfg.L1D),
+				node:  node,
+				group: members,
+			}
+			if cfg.DTLB != nil {
+				p.dtlb = tlb.New(*cfg.DTLB)
+			}
+			groupPorts = append(groupPorts, p)
+			ports[cpu] = p
+		}
+	}
+	h.ports = ports
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Bus returns the snooping bus (for its counters, profile, and timeline).
+func (h *Hierarchy) Bus() *coherence.Bus { return h.bus }
+
+// Fetch performs an instruction-block fetch for the CPU, returning the
+// stall charged to the front end.
+func (h *Hierarchy) Fetch(cpu int, addr mem.Addr, now uint64) Result {
+	p := h.ports[cpu]
+	ba := p.l1i.BlockAddr(addr)
+	p.l1i.Stats.Fetches++
+	if l := p.l1i.Probe(ba); l != nil {
+		p.l1i.Touch(l)
+		return Result{}
+	}
+	p.l1i.Stats.FetchMisses++
+	src := p.node.Read(addr, now)
+	if src == coherence.SrcCache || src == coherence.SrcMemory {
+		h.FetchMisses++
+	}
+	p.l1i.Allocate(ba, l1Shared)
+	return h.result(src)
+}
+
+// Read performs a data load.
+func (h *Hierarchy) Read(cpu int, addr mem.Addr, now uint64) Result {
+	p := h.ports[cpu]
+	var ts uint64
+	if p.dtlb != nil {
+		ts = p.dtlb.Access(addr)
+	}
+	ba := p.l1d.BlockAddr(addr)
+	p.l1d.Stats.Reads++
+	if l := p.l1d.Probe(ba); l != nil {
+		p.l1d.Touch(l)
+		return Result{TLBStall: ts}
+	}
+	p.l1d.Stats.ReadMisses++
+	src := p.node.Read(addr, now)
+	if src == coherence.SrcCache || src == coherence.SrcMemory {
+		h.DataMisses++
+	}
+	p.l1d.Allocate(ba, l1Shared)
+	r := h.result(src)
+	r.TLBStall = ts
+	return r
+}
+
+// Write performs a data store. The returned stall is the store's completion
+// latency; whether it stalls the processor is the store buffer's decision
+// (internal/cpu).
+func (h *Hierarchy) Write(cpu int, addr mem.Addr, now uint64) Result {
+	p := h.ports[cpu]
+	var ts uint64
+	if p.dtlb != nil {
+		ts = p.dtlb.Access(addr)
+	}
+	ba := p.l1d.BlockAddr(addr)
+	p.l1d.Stats.Writes++
+	// Invalidate sibling L1 copies behind the same L2: within-group
+	// coherence is maintained directly (and cheaply), which is exactly the
+	// shared-cache benefit of Figure 16.
+	h.invalidateSiblings(cpu, ba)
+	if l := p.l1d.Probe(ba); l != nil {
+		p.l1d.Touch(l)
+		if l.State == l1Modified {
+			// L1 write hit with permission: still ensure L2 ownership is
+			// recorded (it is, by the earlier miss that set l1Modified).
+			l.Dirty = true
+			return Result{TLBStall: ts}
+		}
+		// Shared in L1: need ownership from the L2/bus.
+		src := p.node.Write(addr, now)
+		if src == coherence.SrcCache || src == coherence.SrcMemory {
+			h.DataMisses++
+		}
+		l.State = l1Modified
+		l.Dirty = true
+		r := h.result(src)
+		r.TLBStall = ts
+		return r
+	}
+	p.l1d.Stats.WriteMisses++
+	src := p.node.Write(addr, now)
+	if src == coherence.SrcCache || src == coherence.SrcMemory {
+		h.DataMisses++
+	}
+	p.l1d.Allocate(ba, l1Modified)
+	p.l1d.Probe(ba).Dirty = true
+	r := h.result(src)
+	r.TLBStall = ts
+	return r
+}
+
+func (h *Hierarchy) invalidateSiblings(cpu int, ba uint64) {
+	p := h.ports[cpu]
+	if len(p.group) == 1 {
+		return
+	}
+	for _, other := range p.group {
+		if other == cpu {
+			continue
+		}
+		h.ports[other].l1d.Invalidate(ba)
+	}
+}
+
+func (h *Hierarchy) result(src coherence.Source) Result {
+	switch src {
+	case coherence.SrcLocal:
+		return Result{Stall: h.cfg.Lat.L2Hit, Class: StallL2Hit}
+	case coherence.SrcUpgrade:
+		return Result{Stall: h.cfg.Lat.Upgrade, Class: StallL2Hit}
+	case coherence.SrcCache:
+		return Result{Stall: h.cfg.Lat.C2C, Class: StallC2C}
+	default:
+		return Result{Stall: h.cfg.Lat.Memory, Class: StallMem}
+	}
+}
+
+// L1I returns a CPU's instruction cache (for stats).
+func (h *Hierarchy) L1I(cpu int) *cache.Cache { return h.ports[cpu].l1i }
+
+// L1D returns a CPU's data cache (for stats).
+func (h *Hierarchy) L1D(cpu int) *cache.Cache { return h.ports[cpu].l1d }
+
+// L2ForCPU returns the L2 node serving a CPU.
+func (h *Hierarchy) L2ForCPU(cpu int) *coherence.Node { return h.ports[cpu].node }
+
+// DTLB returns a CPU's data TLB, or nil when translation is not modeled.
+func (h *Hierarchy) DTLB(cpu int) *tlb.TLB { return h.ports[cpu].dtlb }
+
+// L2MissesPer1000 returns bus data requests (L2 misses) per 1000 of the
+// given instruction count.
+func (h *Hierarchy) L2MissesPer1000(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(h.bus.Stats.DataRequests()) / float64(instructions)
+}
+
+// DataMissesPer1000 returns bus-level data misses per 1000 instructions —
+// the Figure 16 metric (data cache miss rate of the shared/private L2s).
+func (h *Hierarchy) DataMissesPer1000(instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(h.DataMisses) / float64(instructions)
+}
+
+// ResetStats zeroes all cache and bus counters, keeping contents warm, so
+// measurement can exclude warm-up.
+func (h *Hierarchy) ResetStats() {
+	seen := map[*coherence.Node]bool{}
+	for _, p := range h.ports {
+		p.l1i.ResetStats()
+		p.l1d.ResetStats()
+		if p.dtlb != nil {
+			p.dtlb.ResetStats()
+		}
+		if !seen[p.node] {
+			p.node.L2().ResetStats()
+			seen[p.node] = true
+		}
+	}
+	h.bus.ResetStats()
+	h.DataMisses = 0
+	h.FetchMisses = 0
+}

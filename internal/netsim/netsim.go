@@ -1,0 +1,229 @@
+// Package netsim models the 100-Mbit Ethernet connecting ECperf's tiers and
+// the kernel network stack the application server runs for every tier
+// crossing.
+//
+// The paper attributes ECperf's large and growing system time (Figure 5,
+// ~30% at 15 processors) to the operating system's networking code: each
+// BBop makes several synchronous round trips to the database and supplier
+// tiers, and the kernel path is long, touches shared kernel data, and
+// serializes on kernel locks. NetStack reproduces exactly that: every call
+// records kernel-mode instruction segments, references to hot shared kernel
+// lines, and an adaptive (spin-then-block) kernel lock — then a blocking
+// round trip over a latency/bandwidth link to a queueing peer.
+package netsim
+
+import (
+	"repro/internal/ifetch"
+	"repro/internal/mem"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// Responder models a remote machine: given a request arriving at `arrive`,
+// it returns when the response leaves the peer. Implementations queue
+// internally (see internal/db).
+type Responder interface {
+	Respond(arrive uint64, reqBytes, respBytes uint32) (done uint64)
+}
+
+// Link is a full-duplex network link.
+type Link struct {
+	LatencyCycles uint64  // one-way propagation + interrupt cost
+	BytesPerCycle float64 // bandwidth
+}
+
+// DefaultLink models 100-Mbit Ethernet against a 250 MHz clock:
+// 12.5 MB/s = 0.05 B/cycle, with ~50 µs one-way software+wire latency.
+func DefaultLink() Link {
+	return Link{LatencyCycles: 12_500, BytesPerCycle: 0.05}
+}
+
+// TransferCycles returns the cycles to move n bytes one way.
+func (l Link) TransferCycles(n uint32) uint64 {
+	if l.BytesPerCycle <= 0 {
+		return l.LatencyCycles
+	}
+	return l.LatencyCycles + uint64(float64(n)/l.BytesPerCycle)
+}
+
+// Network is one machine's view of the world: a link and the peers on it.
+type Network struct {
+	link      Link
+	peers     map[uint8]Responder
+	externals map[uint8]bool
+}
+
+// NewNetwork returns a network over the given link.
+func NewNetwork(link Link) *Network {
+	return &Network{
+		link:      link,
+		peers:     make(map[uint8]Responder),
+		externals: make(map[uint8]bool),
+	}
+}
+
+// AddPeer registers machine `id` as a timing model (internal/db).
+func (n *Network) AddPeer(id uint8, r Responder) { n.peers[id] = r }
+
+// AddExternalPeer registers machine `id` as a co-simulated machine: calls
+// to it do not resolve locally; the cluster coordinator delivers the
+// request to the other machine's engine and wakes the caller when the real
+// reply comes back (internal/cluster).
+func (n *Network) AddExternalPeer(id uint8) { n.externals[id] = true }
+
+// External reports whether the peer is co-simulated.
+func (n *Network) External(id uint8) bool { return n.externals[id] }
+
+// Link returns the network's link parameters.
+func (n *Network) Link() Link { return n.link }
+
+// RoundTrip computes when a synchronous call issued at `now` completes:
+// request transfer, peer service (with queueing), response transfer.
+// Unknown peers answer after a bare round trip, so a miswired experiment
+// fails loudly in results rather than silently hanging.
+func (n *Network) RoundTrip(peer uint8, now uint64, reqBytes, respBytes uint32) uint64 {
+	arrive := now + n.link.TransferCycles(reqBytes)
+	var done uint64
+	if r, ok := n.peers[peer]; ok {
+		done = r.Respond(arrive, reqBytes, respBytes)
+	} else {
+		done = arrive
+	}
+	return done + n.link.TransferCycles(respBytes)
+}
+
+// StackConfig parameterizes the kernel network path on the measured
+// machine.
+type StackConfig struct {
+	// SendInstr/RecvInstr are the base kernel path lengths per message
+	// (syscall, socket, TCP/IP, driver). PerByteInstr adds copy cost.
+	SendInstr    uint32
+	RecvInstr    uint32
+	PerByteInstr float64
+	// HotLines is the number of shared kernel data lines (protocol state,
+	// socket tables) touched on every call — the source of kernel-mode
+	// sharing misses.
+	HotLines int
+	// BufferBytes is the per-call packet buffer footprint.
+	BufferBytes uint32
+}
+
+// DefaultStackConfig returns a Solaris-flavored kernel path.
+func DefaultStackConfig() StackConfig {
+	return StackConfig{
+		SendInstr:    3_000,
+		RecvInstr:    3_500,
+		PerByteInstr: 0.25,
+		HotLines:     6,
+		BufferBytes:  2048,
+	}
+}
+
+// kernelLockBase namespaces kernel lock IDs away from JVM monitor IDs.
+const kernelLockBase = 1 << 48
+
+// NetStack is the measured machine's kernel network stack.
+type NetStack struct {
+	cfg      StackConfig
+	comp     *ifetch.Component // kernel code component
+	network  *Network
+	lockID   uint64
+	lockAddr mem.Addr
+	hot      []mem.Addr
+	bufBase  mem.Addr
+	bufSize  uint64
+	bufNext  uint64
+	rng      *simrand.Rand
+	calls    uint64
+}
+
+// NewNetStack carves kernel data out of the machine's address space. comp
+// must be a kernel component registered in the machine's code layout.
+func NewNetStack(space *mem.AddrSpace, comp *ifetch.Component, network *Network, cfg StackConfig, rng *simrand.Rand) *NetStack {
+	if !comp.Kernel {
+		panic("netsim: network stack component must be a kernel component")
+	}
+	lockRegion := space.Reserve("kernel:netlock", mem.LineBytes)
+	hotRegion := space.Reserve("kernel:netdata", uint64(cfg.HotLines)*mem.LineBytes)
+	bufRegion := space.Reserve("kernel:netbuf", 96<<10) // recycled mbuf pool
+	ns := &NetStack{
+		cfg:      cfg,
+		comp:     comp,
+		network:  network,
+		lockID:   kernelLockBase + 1,
+		lockAddr: lockRegion.Base,
+		bufBase:  bufRegion.Base,
+		bufSize:  bufRegion.Size,
+		rng:      rng,
+	}
+	for i := 0; i < cfg.HotLines; i++ {
+		ns.hot = append(ns.hot, hotRegion.Base+uint64(i)*mem.LineBytes)
+	}
+	return ns
+}
+
+// Calls returns how many round trips have been recorded.
+func (ns *NetStack) Calls() uint64 { return ns.calls }
+
+// kernelSection records one kernel network path. Protocol state is updated
+// under the adaptive kernel lock (a short hold: header processing only);
+// the payload copy through a rotating packet buffer happens outside the
+// lock, as in any real stack — holding a global lock across data copies
+// would convoy the whole machine.
+func (ns *NetStack) kernelSection(rec *trace.Recorder, instr uint32, bytes uint32) {
+	rec.LockAcquireSpin(ns.lockID, ns.lockAddr)
+	rec.Write(ns.lockAddr, 8)
+	// Shared protocol state (read-mostly, some updates): header handling.
+	for i, a := range ns.hot {
+		if i%3 == 0 {
+			rec.Write(a, 8)
+		} else {
+			rec.Read(a, 8)
+		}
+	}
+	rec.Instr(ns.comp.ID, instr/2)
+	rec.Write(ns.lockAddr, 8)
+	rec.LockRelease(ns.lockID, ns.lockAddr)
+
+	// Payload copy, unlocked.
+	if bytes > 0 {
+		if ns.bufNext+uint64(bytes) > ns.bufSize {
+			ns.bufNext = 0
+		}
+		rec.Write(ns.bufBase+ns.bufNext, bytes)
+		ns.bufNext += uint64(bytes)
+	}
+	rec.Instr(ns.comp.ID, instr/2+uint32(ns.cfg.PerByteInstr*float64(bytes)))
+}
+
+// Call records a full synchronous round trip to peer: kernel send path,
+// blocking wait for the response, kernel receive path.
+func (ns *NetStack) Call(rec *trace.Recorder, peer uint8, reqBytes, respBytes uint32) {
+	ns.calls++
+	ns.kernelSection(rec, ns.cfg.SendInstr, minu32(reqBytes, ns.cfg.BufferBytes))
+	rec.NetCall(peer, reqBytes, respBytes)
+	ns.kernelSection(rec, ns.cfg.RecvInstr, minu32(respBytes, ns.cfg.BufferBytes))
+}
+
+// ReceiveRequest records the kernel receive path for an inbound client
+// request (no blocking: the request has already arrived when the worker
+// picks it up).
+func (ns *NetStack) ReceiveRequest(rec *trace.Recorder, bytes uint32) {
+	ns.kernelSection(rec, ns.cfg.RecvInstr, minu32(bytes, ns.cfg.BufferBytes))
+}
+
+// SendResponse records the kernel send path for an outbound response to a
+// client (fire-and-forget from the worker's point of view).
+func (ns *NetStack) SendResponse(rec *trace.Recorder, bytes uint32) {
+	ns.kernelSection(rec, ns.cfg.SendInstr, minu32(bytes, ns.cfg.BufferBytes))
+}
+
+// Network returns the network this stack sends on.
+func (ns *NetStack) Network() *Network { return ns.network }
+
+func minu32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+// Package report renders reproduced figures (internal/core.Figure) as
+// fixed-width text: a data table per figure plus a rough ASCII plot for
+// quick visual comparison against the paper. The tables are the ground
+// truth recorded in EXPERIMENTS.md; the plots are a convenience.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table renders the figure's series as an aligned table: one row per X
+// value, one column per series (mean ± stddev when error bars exist).
+func Table(w io.Writer, f core.Figure) {
+	fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(w, "x = %s; y = %s\n", f.XLabel, f.YLabel)
+
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+
+	header := fmt.Sprintf("%12s", trunc(f.XLabel, 12))
+	for _, s := range f.Series {
+		header += fmt.Sprintf(" | %18s", trunc(s.Label, 18))
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, x := range xs {
+		row := fmt.Sprintf("%12s", formatNum(x))
+		for _, s := range f.Series {
+			row += fmt.Sprintf(" | %18s", cell(s, x))
+		}
+		fmt.Fprintln(w, row)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+func cell(s core.Series, x float64) string {
+	for i, sx := range s.X {
+		if sx == x {
+			if i < len(s.Err) && s.Err[i] > 0 {
+				return fmt.Sprintf("%s ± %s", formatNum(s.Y[i]), formatNum(s.Err[i]))
+			}
+			return formatNum(s.Y[i])
+		}
+	}
+	return ""
+}
+
+func formatNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Plot renders a crude ASCII chart of the figure (height rows by width
+// columns), one glyph per series. Log axes follow the figure's flags.
+func Plot(w io.Writer, f core.Figure, width, height int) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	glyphs := "ox+*#@%&"
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if f.LogX && v > 0 {
+			return math.Log10(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if f.LogY && v > 0 {
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if f.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			minX, maxX = math.Min(minX, tx(s.X[i])), math.Max(maxX, tx(s.X[i]))
+			minY, maxY = math.Min(minY, ty(s.Y[i])), math.Max(maxY, ty(s.Y[i]))
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		maxX = minX + 1
+	}
+	if math.IsInf(minY, 1) {
+		return
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if f.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			cx := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1))
+			cy := int((ty(s.Y[i]) - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = g
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s (top=%s, bottom=%s)\n", f.ID, formatNum(maxY), formatNum(minY))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s|\n", string(row))
+	}
+	legend := "   "
+	for si, s := range f.Series {
+		legend += fmt.Sprintf(" %c=%s", glyphs[si%len(glyphs)], s.Label)
+	}
+	fmt.Fprintln(w, legend)
+}
+
+// Render writes the table and plot for a figure.
+func Render(w io.Writer, f core.Figure) {
+	Table(w, f)
+	fmt.Fprintln(w)
+	Plot(w, f, 64, 16)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sample() core.Figure {
+	return core.Figure{
+		ID:     "Fig X",
+		Title:  "Sample",
+		XLabel: "Processors",
+		YLabel: "Speedup",
+		Series: []core.Series{
+			{Label: "A", X: []float64{1, 2, 4}, Y: []float64{1, 1.9, 3.5}, Err: []float64{0, 0.1, 0.2}},
+			{Label: "B", X: []float64{1, 2, 4}, Y: []float64{1, 1.5, 2.0}, Err: []float64{0, 0, 0}},
+		},
+		Notes: []string{"hello"},
+	}
+}
+
+func TestTableContainsDataAndNotes(t *testing.T) {
+	var b strings.Builder
+	Table(&b, sample())
+	out := b.String()
+	for _, want := range []string{"Fig X", "Sample", "A", "B", "1.90", "± 0.1", "3.50", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotDrawsAllSeries(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, sample(), 40, 10)
+	out := b.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("plot missing series glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "o=A") || !strings.Contains(out, "x=B") {
+		t.Fatalf("plot missing legend:\n%s", out)
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	f := core.Figure{
+		ID: "L", LogX: true, LogY: true,
+		Series: []core.Series{{Label: "c", X: []float64{64, 1024, 16384}, Y: []float64{10, 1, 0.1}, Err: []float64{0, 0, 0}}},
+	}
+	var b strings.Builder
+	Plot(&b, f, 40, 10)
+	if !strings.Contains(b.String(), "o") {
+		t.Fatal("log plot drew nothing")
+	}
+}
+
+func TestPlotEmptyFigureSafe(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, core.Figure{ID: "E"}, 40, 10) // must not panic
+}
+
+func TestRenderCombined(t *testing.T) {
+	var b strings.Builder
+	Render(&b, sample())
+	if !strings.Contains(b.String(), "Fig X") {
+		t.Fatal("render produced nothing")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		123.456: "123.5",
+		0.01234: "0.012",
+	}
+	for in, want := range cases {
+		if got := formatNum(in); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	var b strings.Builder
+	Markdown(&b, sample())
+	out := b.String()
+	for _, want := range []string{"### Fig X — Sample", "| Processors |", "|---|", "| 1.90 ± 0.100 |", "- hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

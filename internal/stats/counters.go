@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSet is an ordered collection of named uint64 counters. Modules
+// expose their event counts through one of these so reports can enumerate
+// them uniformly.
+type CounterSet struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{values: make(map[string]uint64)}
+}
+
+// Inc adds delta to the named counter, registering it on first use.
+func (c *CounterSet) Inc(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *CounterSet) Get(name string) uint64 { return c.values[name] }
+
+// Names returns the counter names in registration order.
+func (c *CounterSet) Names() []string { return c.names }
+
+// Merge adds every counter from other into this set.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for _, n := range other.names {
+		c.Inc(n, other.values[n])
+	}
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *CounterSet) String() string {
+	names := append([]string(nil), c.names...)
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %12d\n", n, c.values[n])
+	}
+	return b.String()
+}
+
+// Ratio returns a/(a+b) given two counter names, or 0 when both are zero.
+// Typical use: miss ratio, cache-to-cache ratio.
+func (c *CounterSet) Ratio(a, b string) float64 {
+	av, bv := c.values[a], c.values[b]
+	if av+bv == 0 {
+		return 0
+	}
+	return float64(av) / float64(av+bv)
+}
+
+// Per1000 returns 1000*num/den given two counter names, or 0 when den is 0.
+// Typical use: misses per 1000 instructions.
+func (c *CounterSet) Per1000(num, den string) float64 {
+	if c.values[den] == 0 {
+		return 0
+	}
+	return 1000 * float64(c.values[num]) / float64(c.values[den])
+}

@@ -1,0 +1,41 @@
+package stats
+
+// Replicate runs fn once per seed and summarizes each named metric across
+// runs. fn returns a map from metric name to value for one run. This is the
+// multi-seed variability harness used by every figure driver: the paper
+// reports "means and standard deviations (shown as error bars) for all
+// measured and most simulated results" following Alameldeen & Wood.
+func Replicate(seeds []uint64, fn func(seed uint64) map[string]float64) map[string]*Summary {
+	out := make(map[string]*Summary)
+	for _, seed := range seeds {
+		metrics := fn(seed)
+		for name, v := range metrics {
+			s, ok := out[name]
+			if !ok {
+				s = &Summary{}
+				out[name] = s
+			}
+			s.Add(v)
+		}
+	}
+	return out
+}
+
+// Seeds returns n deterministic seeds derived from a base seed, for use with
+// Replicate.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	x := base
+	for i := range out {
+		// SplitMix64 step: distinct, well-mixed seeds from a base.
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = z
+	}
+	return out
+}

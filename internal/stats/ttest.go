@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// Welch's t-test for unequal variances, used the way the paper uses
+// significance: "the difference in throughput ... is small, but
+// statistically significant for ECperf up to 6 processors" (§4.5). With
+// the simulator's few seeds per configuration, degrees of freedom are
+// small; the critical values table below is two-sided at α = 0.05.
+
+// TTest computes Welch's t statistic and approximate degrees of freedom
+// for two summarized samples. It returns (0, 0) when either sample has
+// fewer than two observations or both variances are zero.
+func TTest(a, b *Summary) (t float64, df float64) {
+	if a.N() < 2 || b.N() < 2 {
+		return 0, 0
+	}
+	va := a.StdDev() * a.StdDev() / float64(a.N())
+	vb := b.StdDev() * b.StdDev() / float64(b.N())
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	// Welch–Satterthwaite degrees of freedom.
+	num := (va + vb) * (va + vb)
+	den := va*va/float64(a.N()-1) + vb*vb/float64(b.N()-1)
+	df = num / den
+	return t, df
+}
+
+// tCrit05 holds two-sided 5% critical values of Student's t for small
+// degrees of freedom (1..30); larger df use the normal approximation.
+var tCrit05 = []float64{
+	0,                                                             // df 0 (unused)
+	12.706,                                                        // 1
+	4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+}
+
+// SignificantlyDifferent reports whether the two samples' means differ at
+// the 5% level under Welch's t-test.
+func SignificantlyDifferent(a, b *Summary) bool {
+	t, df := TTest(a, b)
+	if df <= 0 {
+		return false
+	}
+	idx := int(math.Floor(df))
+	var crit float64
+	switch {
+	case idx < 1:
+		crit = tCrit05[1]
+	case idx < len(tCrit05):
+		crit = tCrit05[idx]
+	default:
+		crit = 1.960
+	}
+	return math.Abs(t) > crit
+}

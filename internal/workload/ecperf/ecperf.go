@@ -1,0 +1,472 @@
+// Package ecperf models the ECperf benchmark (later SPECjAppServer2001) as
+// deployed in the paper: a commercial application server in the middle
+// tier — the measured machine — with the database, the supplier emulator,
+// and the driver on separate machines reached over 100-Mbit Ethernet
+// (Figure 3).
+//
+// Only the application server's memory behavior enters the measured
+// hierarchy; the remote tiers are queueing/timing models (internal/db),
+// exactly mirroring how the paper filtered the app server's processors out
+// of its Simics traces.
+//
+// The four ECperf domains are represented by their middle-tier behavior:
+//
+//   - Customer domain: OLTP-like order entry/change/status BBops against
+//     entity beans hydrated from the database through the connection pool
+//     and kept in the server's object-level cache.
+//   - Manufacturing domain: the Just-In-Time work-order cycle; in-flight
+//     work orders are live middle-tier state whose population grows with
+//     the injection rate until the server's concurrency bounds it — the
+//     knee in Figure 11's flat ECperf curve.
+//   - Supplier domain: purchase orders exchanged with the supplier
+//     emulator as XML documents (allocation-heavy parse/format).
+//   - Corporate domain: read-mostly reference data with very hot keys.
+package ecperf
+
+import (
+	"repro/internal/appserver"
+	"repro/internal/ifetch"
+	"repro/internal/jvm"
+	"repro/internal/netsim"
+	"repro/internal/osmodel"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// Peer machine indices on the simulated Ethernet.
+const (
+	PeerDatabase uint8 = 1
+	PeerSupplier uint8 = 2
+)
+
+// Entity-key domains (high bits of cache keys).
+const (
+	domCustomer uint64 = iota + 1
+	domItem
+	domOrder
+	domCorporate
+)
+
+// Config sizes the workload.
+type Config struct {
+	// OIR is the Orders Injection Rate, ECperf's scale factor.
+	OIR int
+	// Workers is the app server's execution-queue thread pool size.
+	Workers int
+	// Connections is the database connection pool size.
+	Connections int
+
+	// CacheEntries / CacheTTLCycles size the object-level cache.
+	CacheEntries   int
+	CacheTTLCycles uint64
+
+	// Entity key-space sizes (middle-tier view; the database itself is
+	// remote and scales with OIR without affecting this machine).
+	Customers int
+	Items     int
+	Orders    int
+	Corporate int
+
+	BeanBytes    uint32
+	SessionBytes uint32 // per-request presentation garbage
+	XMLBytes     uint32 // purchase-order document size
+
+	// MetaBytes sizes the server's runtime metadata (session tables, JNDI
+	// registry, class/bean metadata); MetaReads is how many metadata lines
+	// each request phase walks. This is the bulk of a commercial app
+	// server's data working set.
+	MetaBytes uint32
+	MetaReads int
+
+	// WorkOrderBytes and the in-flight shape drive Figure 11's knee.
+	WorkOrderBytes uint32
+	InflightPerOIR int
+	InflightCap    int
+
+	// Path lengths (instructions) by component.
+	ServletInstr   uint32
+	BeanInstr      uint32
+	PerEntityInstr uint32
+	XMLInstr       uint32
+	CommitInstr    uint32
+
+	// DB message sizes.
+	QueryReqBytes, QueryRespBytes   uint32
+	UpdateReqBytes, UpdateRespBytes uint32
+
+	ZipfSkew float64
+}
+
+// DefaultConfig returns the tuned configuration for the given injection
+// rate and processor count (the paper tuned pools per processor count,
+// §3.2).
+func DefaultConfig(oir, processors int) Config {
+	return Config{
+		OIR:            oir,
+		Workers:        10*processors + 8,
+		Connections:    6*processors + 4,
+		CacheEntries:   8192,
+		CacheTTLCycles: 1_500_000,
+		Customers:      1500,
+		Items:          1000,
+		Orders:         2000,
+		Corporate:      200,
+		BeanBytes:      288,
+		SessionBytes:   1024,
+		XMLBytes:       2048,
+		MetaBytes:      256 << 10,
+		MetaReads:      110,
+		WorkOrderBytes: 2048,
+		InflightPerOIR: 40,
+		InflightCap:    240,
+		ServletInstr:   9_000,
+		BeanInstr:      10_000,
+		PerEntityInstr: 6_000,
+		XMLInstr:       9_000,
+		CommitInstr:    2_500,
+		QueryReqBytes:  300, QueryRespBytes: 1400,
+		UpdateReqBytes: 700, UpdateRespBytes: 200,
+		ZipfSkew: 1.0,
+	}
+}
+
+// Components are the middle tier's code components. The large aggregate
+// footprint (servlet container + EJB runtime + server infrastructure) is
+// what gives ECperf its Figure 12 instruction-miss signature.
+type Components struct {
+	Servlet *ifetch.Component
+	EJB     *ifetch.Component
+	Server  *ifetch.Component
+	JVM     *ifetch.Component
+}
+
+// Workload is one middle-tier instance.
+type Workload struct {
+	cfg   Config
+	comps Components
+	heap  *jvm.Heap
+	ns    *netsim.NetStack
+
+	cache *appserver.ObjectCache
+	pool  *appserver.ConnPool
+	disp  *appserver.Dispatcher
+	meta  jvm.ObjectID // server runtime metadata (large, permanent)
+
+	// In-flight manufacturing work orders, rooted while open.
+	inflight     []jvm.ObjectID
+	inflightHead int
+	inflightMax  int
+
+	rng *simrand.Rand
+
+	// BBops counts completed operations by type.
+	BBops map[string]uint64
+	// DBCalls counts database round trips (path-length diagnostics).
+	DBCalls uint64
+}
+
+// New wires the middle tier together. Construction traffic is discarded;
+// the heap state remains.
+func New(cfg Config, heap *jvm.Heap, comps Components, ns *netsim.NetStack, rng *simrand.Rand) *Workload {
+	rec := trace.NewRecorder("ecperf-build", false)
+	max := cfg.OIR * cfg.InflightPerOIR
+	if max > cfg.InflightCap {
+		max = cfg.InflightCap
+	}
+	if max < 1 {
+		max = 1
+	}
+	w := &Workload{
+		cfg:         cfg,
+		comps:       comps,
+		heap:        heap,
+		ns:          ns,
+		cache:       appserver.NewObjectCache(heap, rec, appserver.CacheConfig{Entries: cfg.CacheEntries, TTLCycles: cfg.CacheTTLCycles}),
+		pool:        appserver.NewConnPool(heap, rec, cfg.Connections),
+		disp:        appserver.NewDispatcher(heap, rec),
+		inflightMax: max,
+		rng:         rng,
+		BBops:       make(map[string]uint64),
+	}
+	w.meta = heap.AllocPermanent(rec, cfg.MetaBytes, 0)
+	heap.MinorGC(nil)
+	return w
+}
+
+// Heap returns the middle tier's heap.
+func (w *Workload) Heap() *jvm.Heap { return w.heap }
+
+// Cache returns the object-level cache (for hit-rate diagnostics).
+func (w *Workload) Cache() *appserver.ObjectCache { return w.cache }
+
+// workerSource drives one thread-pool worker in a closed loop at
+// saturation (the paper relaxed response-time limits and drove maximum
+// throughput, §2.2).
+type workerSource struct {
+	w         *Workload
+	rng       *simrand.Rand
+	custZipf  *simrand.Zipf
+	itemZipf  *simrand.Zipf
+	ordZipf   *simrand.Zipf
+	corpZipf  *simrand.Zipf
+	remaining int
+}
+
+// Source returns the OpSource for worker i. maxOps bounds the operation
+// count (<0 for unlimited).
+func (w *Workload) Source(i int, maxOps int) osmodel.OpSource {
+	rng := w.rng.Derive(uint64(i))
+	return &workerSource{
+		w:         w,
+		rng:       rng,
+		custZipf:  simrand.NewZipf(rng, w.cfg.Customers, w.cfg.ZipfSkew),
+		itemZipf:  simrand.NewZipf(rng, w.cfg.Items, w.cfg.ZipfSkew),
+		ordZipf:   simrand.NewZipf(rng, w.cfg.Orders, w.cfg.ZipfSkew),
+		corpZipf:  simrand.NewZipf(rng, w.cfg.Corporate, 1.1),
+		remaining: maxOps,
+	}
+}
+
+// NextOp records one BBop from the ECperf mix.
+func (s *workerSource) NextOp(tid int, now uint64) *trace.Op {
+	if s.remaining == 0 {
+		return nil
+	}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	u := s.rng.Float64()
+	var op *trace.Op
+	switch {
+	case u < 0.30:
+		op = s.newOrder(tid, now)
+	case u < 0.45:
+		op = s.changeOrder(tid, now)
+	case u < 0.60:
+		op = s.orderStatus(tid, now)
+	case u < 0.70:
+		op = s.customerStatus(tid, now)
+	case u < 0.90:
+		op = s.workOrder(tid, now)
+	default:
+		op = s.purchase(tid, now)
+	}
+	// The request's frame is gone: unpin its temporaries.
+	s.w.heap.ClearStack(tid)
+	return op
+}
+
+// entity resolves one entity bean: object-cache hit, or a database load
+// through the connection pool. The hit path is dramatically shorter —
+// §4.4's constructive interference.
+func (s *workerSource) entity(rec *trace.Recorder, tid int, dom uint64, key int, now uint64) jvm.ObjectID {
+	w := s.w
+	k := dom<<32 | uint64(key)
+	if obj, ok := w.cache.Get(rec, k, now); ok {
+		rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr/8)
+		s.metaWalk(rec, 4) // descriptor + interceptor lookups
+		return obj
+	}
+	s.metaWalk(rec, 16) // ORM mapping metadata for the load path
+	conn := w.pool.Acquire(rec)
+	w.ns.Call(rec, PeerDatabase, w.cfg.QueryReqBytes, w.cfg.QueryRespBytes)
+	w.pool.Release(rec, conn)
+	w.DBCalls++
+	obj := w.heap.Alloc(rec, tid, w.cfg.BeanBytes, 0)
+	rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr) // ORM hydration
+	w.cache.Put(rec, k, obj, now)
+	return obj
+}
+
+// commit writes a transaction back to the database.
+func (s *workerSource) commit(rec *trace.Recorder, tid int) {
+	w := s.w
+	conn := w.pool.Acquire(rec)
+	w.ns.Call(rec, PeerDatabase, w.cfg.UpdateReqBytes, w.cfg.UpdateRespBytes)
+	w.pool.Release(rec, conn)
+	w.DBCalls++
+	rec.Instr(w.comps.Server.ID, w.cfg.CommitInstr)
+}
+
+// metaWalk records n reads over the server's runtime metadata with a
+// skewed (hot-table) distribution: hash buckets, descriptors, interceptor
+// chains. These walks are what give the middle tier its L1-data miss rate.
+func (s *workerSource) metaWalk(rec *trace.Recorder, n int) {
+	h := s.w.heap
+	base := h.Addr(s.w.meta)
+	lines := int64(s.w.cfg.MetaBytes / 64)
+	for i := 0; i < n; i++ {
+		off := s.rng.Int63n(lines)
+		if s.rng.Bool(0.62) {
+			off %= lines / 12 // hot slice of the tables
+		}
+		rec.Read(base+uint64(off)*64, 8)
+	}
+}
+
+// begin records the common request front half: kernel receive, dispatch,
+// servlet presentation layer with its session garbage.
+func (s *workerSource) begin(rec *trace.Recorder, tid int) {
+	w := s.w
+	w.ns.ReceiveRequest(rec, 512)
+	w.disp.Dispatch(rec)
+	rec.Instr(w.comps.Server.ID, w.cfg.ServletInstr/3)
+	s.metaWalk(rec, w.cfg.MetaReads)
+	rec.Instr(w.comps.Servlet.ID, w.cfg.ServletInstr)
+	s.metaWalk(rec, w.cfg.MetaReads/2)
+	// Session/request temporaries.
+	n := w.cfg.SessionBytes
+	for n > 0 {
+		sz := uint32(96 + s.rng.Intn(160))
+		if sz > n {
+			sz = n
+		}
+		w.heap.Alloc(rec, tid, sz, 0)
+		n -= sz
+	}
+	rec.Instr(w.comps.JVM.ID, w.cfg.SessionBytes/8)
+}
+
+// end records the response half.
+func (s *workerSource) end(rec *trace.Recorder) {
+	w := s.w
+	rec.Instr(w.comps.Servlet.ID, w.cfg.ServletInstr/2)
+	s.metaWalk(rec, w.cfg.MetaReads/2)
+	w.ns.SendResponse(rec, 1024)
+}
+
+func (s *workerSource) newOrder(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("neworder", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
+
+	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
+	h.ReadObject(rec, cust)
+	nitems := 2 + s.rng.Intn(4)
+	for i := 0; i < nitems; i++ {
+		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
+		h.ReadObject(rec, item)
+		rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr/4)
+	}
+	// The new order bean: written through to the database; the local copy
+	// enters the cache.
+	order := h.Alloc(rec, tid, w.cfg.BeanBytes, 0)
+	h.WriteField(rec, order, 1)
+	w.cache.Put(rec, domOrder<<32|uint64(s.ordZipf.Next()), order, now)
+	s.commit(rec, tid)
+
+	s.end(rec)
+	w.BBops["neworder"]++
+	return rec.Finish()
+}
+
+func (s *workerSource) changeOrder(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("changeorder", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
+	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
+	h.ReadObject(rec, order)
+	h.WriteField(rec, order, 2)
+	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
+	h.ReadObject(rec, cust)
+	s.commit(rec, tid)
+	s.end(rec)
+	w.BBops["changeorder"]++
+	return rec.Finish()
+}
+
+func (s *workerSource) orderStatus(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("orderstatus", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
+	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
+	h.ReadObject(rec, order)
+	corp := s.entity(rec, tid, domCorporate, s.corpZipf.Next(), now)
+	h.ReadObject(rec, corp)
+	s.end(rec)
+	w.BBops["orderstatus"]++
+	return rec.Finish()
+}
+
+func (s *workerSource) customerStatus(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("custstatus", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
+	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
+	h.ReadObject(rec, cust)
+	norders := 1 + s.rng.Intn(3)
+	for i := 0; i < norders; i++ {
+		order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
+		h.ReadObject(rec, order)
+	}
+	s.end(rec)
+	w.BBops["custstatus"]++
+	return rec.Finish()
+}
+
+// workOrder runs one step of the Just-In-Time manufacturing cycle: create
+// a work order (live in the middle tier while open), consume parts, and
+// complete the oldest open work order.
+func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("workorder", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
+
+	wo := h.Alloc(rec, tid, w.cfg.WorkOrderBytes, 0)
+	h.AddRoot(wo)
+	// Bill of materials.
+	for i := 0; i < 3; i++ {
+		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
+		h.ReadObject(rec, item)
+	}
+	s.commit(rec, tid)
+
+	// Ring of open work orders: completing the oldest when full keeps the
+	// in-flight population at inflightMax — the Figure 11 plateau.
+	if len(w.inflight) < w.inflightMax {
+		w.inflight = append(w.inflight, wo)
+	} else {
+		old := w.inflight[w.inflightHead]
+		h.WriteField(rec, old, 1) // mark completed
+		h.RemoveRoot(old)         // becomes garbage
+		w.inflight[w.inflightHead] = wo
+		w.inflightHead = (w.inflightHead + 1) % w.inflightMax
+		s.commit(rec, tid)
+	}
+
+	s.end(rec)
+	w.BBops["workorder"]++
+	return rec.Finish()
+}
+
+// purchase sends a purchase order to the supplier emulator as an XML
+// document and processes the XML response.
+func (s *workerSource) purchase(tid int, now uint64) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("purchase", true)
+	s.begin(rec, tid)
+	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
+
+	for i := 0; i < 2; i++ {
+		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
+		h.ReadObject(rec, item)
+	}
+	// Format the XML document (allocation-heavy), send it, parse the reply.
+	doc := h.Alloc(rec, tid, w.cfg.XMLBytes, 0)
+	h.ReadObject(rec, doc)
+	rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr)
+	w.ns.Call(rec, PeerSupplier, w.cfg.XMLBytes, w.cfg.XMLBytes/2)
+	reply := h.Alloc(rec, tid, w.cfg.XMLBytes/2, 0)
+	h.ReadObject(rec, reply)
+	rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr/2)
+	s.commit(rec, tid)
+
+	s.end(rec)
+	w.BBops["purchase"]++
+	return rec.Finish()
+}

@@ -1,0 +1,497 @@
+// Package specjbb models the SPECjbb2000 benchmark: a wholesale company
+// with a configurable number of warehouses, each owned by one worker
+// thread, with the "database" emulated as trees of Java objects in the
+// measured heap (§2.1 of the paper).
+//
+// That in-heap emulated database is the root of every behavioral difference
+// the paper found between SPECjbb and ECperf:
+//
+//   - live heap memory grows linearly with warehouses (Figure 11),
+//   - the data-cache miss rate rises with warehouse count (Figure 13),
+//   - shared 1 MB L2s hurt instead of help (Figure 16),
+//   - while cross-thread communication stays concentrated in a few hot
+//     lock lines (Figure 14), because each thread updates only its own
+//     warehouse's trees.
+//
+// The transaction mix follows TPC-C's flavor (SPECjbb was "inspired by"
+// TPC-C): NewOrder and Payment dominate, with OrderStatus, Delivery, and
+// StockLevel filling the remainder.
+package specjbb
+
+import (
+	"repro/internal/ifetch"
+	"repro/internal/jvm"
+	"repro/internal/osmodel"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// Config sizes the workload. Byte sizes are scaled-down versions of the
+// real benchmark (the paper's ~13 MB/warehouse becomes ~0.8 MB/warehouse by
+// default) preserving the linear-growth property that matters.
+type Config struct {
+	Warehouses int
+
+	Districts         int // districts per warehouse
+	Customers         int // customers per warehouse
+	Items             int // stock items per warehouse
+	OrdersPerDistrict int // order ring capacity per district
+
+	CustomerBytes  uint32
+	ItemBytes      uint32
+	OrderBytes     uint32
+	OrderLineBytes uint32
+	HistoryBytes   uint32
+
+	OrderLinesMin, OrderLinesMax int
+
+	// GarbagePerTxn is extra short-lived allocation per transaction
+	// (strings, iterators, BigDecimal temporaries).
+	GarbagePerTxn uint32
+
+	// IndexBytes sizes each warehouse's B-tree index nodes; IndexDepth is
+	// the number of index lines touched per key lookup. SPECjbb stores its
+	// emulated database in trees of Java objects (§2.1); these walks are
+	// the tree traversals.
+	IndexBytes uint32
+	IndexDepth int
+
+	// Path lengths per transaction type, in instructions of the benchmark
+	// component.
+	NewOrderInstr    uint32
+	PaymentInstr     uint32
+	OrderStatusInstr uint32
+	DeliveryInstr    uint32
+	StockLevelInstr  uint32
+	PerLineInstr     uint32 // extra per order line processed
+
+	// ZipfSkew shapes customer/item popularity.
+	ZipfSkew float64
+}
+
+// DefaultConfig returns the scaled benchmark configuration.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:        warehouses,
+		Districts:         10,
+		Customers:         400,
+		Items:             800,
+		OrdersPerDistrict: 12,
+		CustomerBytes:     160,
+		ItemBytes:         224,
+		OrderBytes:        96,
+		OrderLineBytes:    64,
+		HistoryBytes:      96,
+		OrderLinesMin:     5,
+		OrderLinesMax:     15,
+		GarbagePerTxn:     384,
+		IndexBytes:        64 << 10,
+		IndexDepth:        8,
+		NewOrderInstr:     26_000,
+		PaymentInstr:      17_000,
+		OrderStatusInstr:  14_000,
+		DeliveryInstr:     20_000,
+		StockLevelInstr:   23_000,
+		PerLineInstr:      300,
+		ZipfSkew:          0.35,
+	}
+}
+
+// Components are the code components SPECjbb executes.
+type Components struct {
+	App *ifetch.Component // the benchmark + JVM interpreter/JIT code
+	JVM *ifetch.Component // allocation/runtime slow paths
+}
+
+// warehouse is the Go-side index of one warehouse's object trees. All
+// objects live in the simulated heap; this struct holds their IDs.
+type warehouse struct {
+	obj       jvm.ObjectID
+	mon       *jvm.Monitor
+	index     jvm.ObjectID // B-tree index node storage
+	districts []*district
+	customers []jvm.ObjectID
+	items     []jvm.ObjectID
+}
+
+type district struct {
+	obj       jvm.ObjectID
+	orderRing jvm.ObjectID // ref-array object, capacity OrdersPerDistrict
+	head      int          // next slot to overwrite
+	count     int
+}
+
+// order bookkeeping is entirely in-heap: an order object references its
+// customer and a line-array object referencing line objects.
+
+// Workload is one SPECjbb instance bound to a heap.
+type Workload struct {
+	cfg   Config
+	comps Components
+	heap  *jvm.Heap
+
+	companyMon *jvm.Monitor
+	companyObj jvm.ObjectID
+	statsObj   jvm.ObjectID // read-mostly company statistics block
+	edenMon    *jvm.Monitor // JVM allocation slow-path lock
+	warehouses []*warehouse
+
+	rng *simrand.Rand
+
+	// Txns counts completed transactions by type.
+	Txns map[string]uint64
+}
+
+// New builds the company and its warehouse object trees in the heap. The
+// construction's memory traffic is recorded into a throwaway recorder (the
+// paper measures steady state, not ramp-up); the heap state it leaves
+// behind is what matters. After building, the trees are aged into the old
+// generation with two forced minor collections, as they would be minutes
+// into a real run.
+func New(cfg Config, heap *jvm.Heap, comps Components, rng *simrand.Rand) *Workload {
+	w := &Workload{
+		cfg:   cfg,
+		comps: comps,
+		heap:  heap,
+		rng:   rng,
+		Txns:  make(map[string]uint64),
+	}
+	rec := trace.NewRecorder("jbb-build", false)
+	w.companyMon = heap.NewMonitor(rec)
+	w.companyObj = heap.AllocPermanent(rec, 640, 0)
+	w.statsObj = heap.AllocPermanent(rec, 12*64, 0)
+	w.edenMon = heap.NewMonitor(rec)
+	for i := 0; i < cfg.Warehouses; i++ {
+		w.warehouses = append(w.warehouses, w.buildWarehouse(rec, i))
+	}
+	// Construction frames are done; unpin, then promote the long-lived
+	// trees as they would be minutes into a real run.
+	for i := 0; i < cfg.Warehouses; i++ {
+		heap.ClearStack(i)
+	}
+	heap.MinorGC(nil)
+	heap.MinorGC(nil)
+	return w
+}
+
+func (w *Workload) buildWarehouse(rec *trace.Recorder, idx int) *warehouse {
+	h := w.heap
+	wh := &warehouse{mon: h.NewMonitor(rec)}
+	wh.obj = h.Alloc(rec, idx, 128, 3)
+	h.AddRoot(wh.obj)
+	wh.index = h.Alloc(rec, idx, w.cfg.IndexBytes, 0) // large: lands in old gen
+	h.AddRoot(wh.index)
+
+	custArr := h.Alloc(rec, idx, uint32(8*w.cfg.Customers+jvm.HeaderBytes), w.cfg.Customers)
+	h.SetRef(rec, wh.obj, 0, custArr)
+	for c := 0; c < w.cfg.Customers; c++ {
+		cust := h.Alloc(rec, idx, w.cfg.CustomerBytes, 0)
+		h.SetRef(rec, custArr, c, cust)
+		wh.customers = append(wh.customers, cust)
+	}
+
+	itemArr := h.Alloc(rec, idx, uint32(8*w.cfg.Items+jvm.HeaderBytes), w.cfg.Items)
+	h.SetRef(rec, wh.obj, 1, itemArr)
+	for s := 0; s < w.cfg.Items; s++ {
+		item := h.Alloc(rec, idx, w.cfg.ItemBytes, 0)
+		h.SetRef(rec, itemArr, s, item)
+		wh.items = append(wh.items, item)
+	}
+
+	distArr := h.Alloc(rec, idx, uint32(8*w.cfg.Districts+jvm.HeaderBytes), w.cfg.Districts)
+	h.SetRef(rec, wh.obj, 2, distArr)
+	for d := 0; d < w.cfg.Districts; d++ {
+		dobj := h.Alloc(rec, idx, 128, 1)
+		ring := h.Alloc(rec, idx, uint32(8*w.cfg.OrdersPerDistrict+jvm.HeaderBytes), w.cfg.OrdersPerDistrict)
+		h.SetRef(rec, dobj, 0, ring)
+		h.SetRef(rec, distArr, d, dobj)
+		wh.districts = append(wh.districts, &district{obj: dobj, orderRing: ring})
+	}
+	return wh
+}
+
+// Heap returns the workload's heap (for memory-scaling measurements).
+func (w *Workload) Heap() *jvm.Heap { return w.heap }
+
+// threadSource generates transactions for one warehouse's thread.
+type threadSource struct {
+	w         *Workload
+	wh        *warehouse
+	whID      int
+	rng       *simrand.Rand
+	custZipf  *simrand.Zipf
+	itemZipf  *simrand.Zipf
+	remaining int // <0 = unlimited
+}
+
+// Source returns the OpSource for warehouse whID's worker thread. maxOps
+// bounds the transaction count (<0 for unlimited, the usual case — the
+// engine's horizon ends the run).
+func (w *Workload) Source(whID int, maxOps int) osmodel.OpSource {
+	rng := w.rng.Derive(uint64(whID))
+	return &threadSource{
+		w:         w,
+		wh:        w.warehouses[whID],
+		whID:      whID,
+		rng:       rng,
+		custZipf:  simrand.NewZipf(rng, w.cfg.Customers, w.cfg.ZipfSkew),
+		itemZipf:  simrand.NewZipf(rng, w.cfg.Items, w.cfg.ZipfSkew),
+		remaining: maxOps,
+	}
+}
+
+// NextOp records one transaction drawn from the SPECjbb mix.
+func (s *threadSource) NextOp(tid int, now uint64) *trace.Op {
+	if s.remaining == 0 {
+		return nil
+	}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	u := s.rng.Float64()
+	var op *trace.Op
+	switch {
+	case u < 0.435:
+		op = s.newOrder(tid)
+	case u < 0.865:
+		op = s.payment(tid)
+	case u < 0.910:
+		op = s.orderStatus(tid)
+	case u < 0.955:
+		op = s.delivery(tid)
+	default:
+		op = s.stockLevel(tid)
+	}
+	// The operation's frame is gone: unpin its temporaries.
+	s.w.heap.ClearStack(tid)
+	return op
+}
+
+// companyTouch is the brief global critical section every transaction
+// crosses (company-wide counters) — SPECjbb's hottest shared line.
+func (s *threadSource) companyTouch(rec *trace.Recorder) {
+	w := s.w
+	w.companyMon.Lock(rec)
+	// Company-wide counters and sequence numbers: several shared lines
+	// updated under one monitor — SPECjbb's hottest communication. Field
+	// indices are spaced so the three counters live on distinct lines.
+	for f := 0; f < 64; f += 8 {
+		w.heap.ReadField(rec, w.companyObj, f)
+		w.heap.WriteField(rec, w.companyObj, f)
+	}
+	rec.Instr(w.comps.App.ID, 1000)
+	w.companyMon.Unlock(rec)
+	// Company-wide read-mostly statistics outside the lock: occasionally
+	// updated, so a write by anyone invalidates every reader's copy and
+	// the whole set re-fetches cache-to-cache.
+	statsBase := w.heap.Addr(w.statsObj)
+	for i := 0; i < 12; i++ {
+		rec.Read(statsBase+uint64(i)*64, 8)
+	}
+	if s.rng.Bool(0.15) {
+		rec.Write(statsBase+uint64(s.rng.Intn(12))*64, 8)
+	}
+}
+
+// indexWalk records one B-tree key lookup: IndexDepth reads spread over
+// the warehouse's index nodes.
+func (s *threadSource) indexWalk(rec *trace.Recorder) {
+	h := s.w.heap
+	base := h.Addr(s.wh.index)
+	lines := int64(s.w.cfg.IndexBytes / 64)
+	for d := 0; d < s.w.cfg.IndexDepth; d++ {
+		rec.Read(base+uint64(s.rng.Int63n(lines))*64, 8)
+	}
+	rec.Instr(s.w.comps.App.ID, uint32(40*s.w.cfg.IndexDepth))
+}
+
+// garbage allocates the transaction's short-lived temporaries. Roughly one
+// in eight transactions takes the JVM's allocation slow path (TLAB refill)
+// under the shared eden lock.
+func (s *threadSource) garbage(rec *trace.Recorder, tid int) {
+	w := s.w
+	n := w.cfg.GarbagePerTxn
+	if s.rng.Intn(3) == 0 {
+		// TLAB refill: the eden top pointer is one global line bumped
+		// under the allocator lock — classic JVM-internal contention.
+		w.edenMon.Lock(rec)
+		w.heap.ReadField(rec, w.companyObj, 70)
+		w.heap.WriteField(rec, w.companyObj, 70)
+		rec.Instr(w.comps.JVM.ID, 800)
+		w.edenMon.Unlock(rec)
+	}
+	for n > 0 {
+		sz := uint32(64 + s.rng.Intn(192))
+		if sz > n {
+			sz = n
+		}
+		w.heap.Alloc(rec, tid, sz, 0)
+		n -= sz
+	}
+	rec.Instr(w.comps.JVM.ID, w.cfg.GarbagePerTxn/8)
+}
+
+func (s *threadSource) newOrder(tid int) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("neworder", true)
+	rec.Instr(w.comps.App.ID, w.cfg.NewOrderInstr/2)
+	s.companyTouch(rec)
+
+	s.wh.mon.Lock(rec)
+	d := s.wh.districts[s.rng.Intn(len(s.wh.districts))]
+	h.ReadField(rec, d.obj, 1)
+	h.WriteField(rec, d.obj, 1) // next order id
+
+	s.indexWalk(rec)
+	cust := s.wh.customers[s.custZipf.Next()]
+	h.ReadObject(rec, cust)
+
+	nlines := w.cfg.OrderLinesMin + s.rng.Intn(w.cfg.OrderLinesMax-w.cfg.OrderLinesMin+1)
+	lineArr := h.Alloc(rec, tid, uint32(8*nlines+jvm.HeaderBytes), nlines)
+	for i := 0; i < nlines; i++ {
+		s.indexWalk(rec)
+		item := s.wh.items[s.itemZipf.Next()]
+		h.ReadObject(rec, item)
+		h.WriteField(rec, item, 2) // stock quantity
+		line := h.Alloc(rec, tid, w.cfg.OrderLineBytes, 1)
+		h.SetRef(rec, line, 0, item)
+		h.SetRef(rec, lineArr, i, line)
+		rec.Instr(w.comps.App.ID, w.cfg.PerLineInstr)
+	}
+	order := h.Alloc(rec, tid, w.cfg.OrderBytes, 2)
+	h.SetRef(rec, order, 0, cust)
+	h.SetRef(rec, order, 1, lineArr)
+
+	// Ring-buffer the order into the district; the displaced order becomes
+	// garbage (the emulated database's steady state).
+	h.SetRef(rec, d.orderRing, d.head, order)
+	d.head = (d.head + 1) % w.cfg.OrdersPerDistrict
+	if d.count < w.cfg.OrdersPerDistrict {
+		d.count++
+	}
+	s.wh.mon.Unlock(rec)
+
+	rec.Instr(w.comps.App.ID, w.cfg.NewOrderInstr/2)
+	s.garbage(rec, tid)
+	w.Txns["neworder"]++
+	return rec.Finish()
+}
+
+func (s *threadSource) payment(tid int) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("payment", true)
+	rec.Instr(w.comps.App.ID, w.cfg.PaymentInstr/2)
+	s.companyTouch(rec)
+
+	s.wh.mon.Lock(rec)
+	h.ReadField(rec, s.wh.obj, 3)
+	h.WriteField(rec, s.wh.obj, 3) // warehouse YTD
+	d := s.wh.districts[s.rng.Intn(len(s.wh.districts))]
+	h.ReadField(rec, d.obj, 2)
+	h.WriteField(rec, d.obj, 2)
+	s.indexWalk(rec)
+	cust := s.wh.customers[s.custZipf.Next()]
+	h.ReadObject(rec, cust)
+	h.WriteField(rec, cust, 1)               // balance
+	h.Alloc(rec, tid, w.cfg.HistoryBytes, 1) // history record (short-lived)
+	s.wh.mon.Unlock(rec)
+
+	rec.Instr(w.comps.App.ID, w.cfg.PaymentInstr/2)
+	s.garbage(rec, tid)
+	w.Txns["payment"]++
+	return rec.Finish()
+}
+
+func (s *threadSource) orderStatus(tid int) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("orderstatus", true)
+	rec.Instr(w.comps.App.ID, w.cfg.OrderStatusInstr)
+
+	s.indexWalk(rec)
+	cust := s.wh.customers[s.custZipf.Next()]
+	h.ReadObject(rec, cust)
+	d := s.wh.districts[s.rng.Intn(len(s.wh.districts))]
+	if d.count > 0 {
+		slot := (d.head - 1 + w.cfg.OrdersPerDistrict) % w.cfg.OrdersPerDistrict
+		order := h.GetRef(rec, d.orderRing, slot)
+		if order != jvm.NilObject {
+			h.ReadObject(rec, order)
+			lineArr := h.GetRef(rec, order, 1)
+			if lineArr != jvm.NilObject {
+				for i := 0; i < h.NumRefs(lineArr); i++ {
+					if line := h.GetRef(rec, lineArr, i); line != jvm.NilObject {
+						h.ReadObject(rec, line)
+					}
+				}
+			}
+		}
+	}
+	s.garbage(rec, tid)
+	w.Txns["orderstatus"]++
+	return rec.Finish()
+}
+
+func (s *threadSource) delivery(tid int) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("delivery", true)
+	rec.Instr(w.comps.App.ID, w.cfg.DeliveryInstr)
+
+	s.wh.mon.Lock(rec)
+	for _, d := range s.wh.districts {
+		if d.count == 0 {
+			continue
+		}
+		oldest := (d.head - d.count + w.cfg.OrdersPerDistrict) % w.cfg.OrdersPerDistrict
+		order := h.GetRef(rec, d.orderRing, oldest)
+		if order != jvm.NilObject {
+			cust := h.GetRef(rec, order, 0)
+			if cust != jvm.NilObject {
+				h.WriteField(rec, cust, 1) // balance update
+			}
+			h.SetRef(rec, d.orderRing, oldest, jvm.NilObject) // order becomes garbage
+		}
+		d.count--
+	}
+	s.wh.mon.Unlock(rec)
+	s.garbage(rec, tid)
+	w.Txns["delivery"]++
+	return rec.Finish()
+}
+
+func (s *threadSource) stockLevel(tid int) *trace.Op {
+	w, h := s.w, s.w.heap
+	rec := trace.NewRecorder("stocklevel", true)
+	rec.Instr(w.comps.App.ID, w.cfg.StockLevelInstr)
+
+	s.indexWalk(rec)
+	s.indexWalk(rec)
+	d := s.wh.districts[s.rng.Intn(len(s.wh.districts))]
+	// Scan the district's recent orders and their items' stock levels.
+	scan := d.count
+	if scan > 10 {
+		scan = 10
+	}
+	for k := 0; k < scan; k++ {
+		slot := (d.head - 1 - k + 2*w.cfg.OrdersPerDistrict) % w.cfg.OrdersPerDistrict
+		order := h.GetRef(rec, d.orderRing, slot)
+		if order == jvm.NilObject {
+			continue
+		}
+		lineArr := h.GetRef(rec, order, 1)
+		if lineArr == jvm.NilObject {
+			continue
+		}
+		for i := 0; i < h.NumRefs(lineArr); i++ {
+			line := h.GetRef(rec, lineArr, i)
+			if line == jvm.NilObject {
+				continue
+			}
+			if item := h.GetRef(rec, line, 0); item != jvm.NilObject {
+				h.ReadField(rec, item, 2)
+			}
+		}
+	}
+	s.garbage(rec, tid)
+	w.Txns["stocklevel"]++
+	return rec.Finish()
+}

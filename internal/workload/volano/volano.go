@@ -1,0 +1,144 @@
+// Package volano models a VolanoMark-like chat server, the related-work
+// comparison point of the paper's §6:
+//
+//	"VolanoMark behaves quite differently than ECperf or SPECjbb because
+//	 of the high number of threads it creates. In VolanoMark, the server
+//	 creates a new thread for each client connection. The application
+//	 server that we have used, in contrast, shares threads between client
+//	 connections. As a result, the middle tier of the ECperf benchmark
+//	 spends much less time in the kernel than VolanoMark. SPECjbb also has
+//	 a much lower kernel component than VolanoMark."
+//
+// The model is VolanoMark's loopback chat benchmark: rooms of connected
+// users; every message a user sends is broadcast by the server to every
+// other user in the room, each delivery a separate kernel send. One server
+// thread per connection, exactly the design the paper contrasts with
+// thread pooling. Nearly all of the per-message work is kernel networking,
+// which is what makes its kernel component dwarf the middleware
+// benchmarks'.
+package volano
+
+import (
+	"repro/internal/ifetch"
+	"repro/internal/jvm"
+	"repro/internal/netsim"
+	"repro/internal/osmodel"
+	"repro/internal/simrand"
+	"repro/internal/trace"
+)
+
+// Config sizes the chat benchmark.
+type Config struct {
+	// Rooms and UsersPerRoom shape the fan-out (VolanoMark's default room
+	// size is 20: one inbound message causes 19 outbound deliveries).
+	Rooms        int
+	UsersPerRoom int
+	// MessageBytes is the chat message size.
+	MessageBytes uint32
+	// ProcInstr is the user-mode work per message (parsing, room lookup,
+	// history append) — deliberately small; this benchmark is all kernel.
+	ProcInstr uint32
+	// ThinkCycles is the client pacing between a connection's messages.
+	ThinkCycles uint32
+	// HistoryBytes is the per-message allocation (message object + history
+	// entry).
+	HistoryBytes uint32
+}
+
+// DefaultConfig returns the VolanoMark-flavored setup.
+func DefaultConfig() Config {
+	return Config{
+		Rooms:        4,
+		UsersPerRoom: 20,
+		MessageBytes: 256,
+		ProcInstr:    9_000,
+		ThinkCycles:  400_000,
+		HistoryBytes: 512,
+	}
+}
+
+// Components are the code components the chat server executes.
+type Components struct {
+	App *ifetch.Component // the chat server + JVM
+}
+
+// Workload is one simulated chat server.
+type Workload struct {
+	cfg   Config
+	comps Components
+	heap  *jvm.Heap
+	ns    *netsim.NetStack
+	rng   *simrand.Rand
+
+	// rooms[i] is the member list object for room i (read on every
+	// broadcast — shared across all of the room's connection threads).
+	rooms []jvm.ObjectID
+	// Messages counts delivered messages (the VolanoMark score unit).
+	Messages uint64
+}
+
+// New builds the rooms. Construction traffic is discarded, as for the
+// other workloads.
+func New(cfg Config, heap *jvm.Heap, comps Components, ns *netsim.NetStack, rng *simrand.Rand) *Workload {
+	rec := trace.NewRecorder("volano-build", false)
+	w := &Workload{cfg: cfg, comps: comps, heap: heap, ns: ns, rng: rng}
+	for i := 0; i < cfg.Rooms; i++ {
+		room := heap.AllocPermanent(rec, uint32(8*cfg.UsersPerRoom+jvm.HeaderBytes), 0)
+		w.rooms = append(w.rooms, room)
+	}
+	return w
+}
+
+// Connections returns the total connection (= server thread) count.
+func (w *Workload) Connections() int { return w.cfg.Rooms * w.cfg.UsersPerRoom }
+
+// connSource drives one connection's server thread.
+type connSource struct {
+	w         *Workload
+	room      int
+	rng       *simrand.Rand
+	remaining int
+}
+
+// Source returns the OpSource for connection i (thread-per-connection:
+// every connection gets its own). maxOps bounds the message count (<0
+// unlimited).
+func (w *Workload) Source(i int, maxOps int) osmodel.OpSource {
+	return &connSource{
+		w:         w,
+		room:      i / w.cfg.UsersPerRoom,
+		rng:       w.rng.Derive(uint64(i)),
+		remaining: maxOps,
+	}
+}
+
+// NextOp records one inbound chat message and its room-wide broadcast.
+func (s *connSource) NextOp(tid int, now uint64) *trace.Op {
+	if s.remaining == 0 {
+		return nil
+	}
+	if s.remaining > 0 {
+		s.remaining--
+	}
+	w, cfg := s.w, s.w.cfg
+	rec := trace.NewRecorder("message", true)
+
+	// Client pacing, then the inbound message arrives.
+	rec.Think(cfg.ThinkCycles + uint32(s.rng.Intn(int(cfg.ThinkCycles/2)+1)))
+	w.ns.ReceiveRequest(rec, cfg.MessageBytes)
+
+	// Minimal user-mode work: parse, look up the room, append to history.
+	rec.Instr(w.comps.App.ID, cfg.ProcInstr)
+	w.heap.ReadObject(rec, w.rooms[s.room])
+	w.heap.Alloc(rec, tid, cfg.HistoryBytes, 0)
+
+	// Broadcast: one kernel send per other member of the room. This
+	// fan-out is the whole story — ~95% of the path is kernel code.
+	for m := 1; m < cfg.UsersPerRoom; m++ {
+		w.ns.SendResponse(rec, cfg.MessageBytes)
+	}
+	w.Messages += uint64(cfg.UsersPerRoom - 1)
+
+	w.heap.ClearStack(tid)
+	return rec.Finish()
+}
