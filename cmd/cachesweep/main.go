@@ -5,13 +5,23 @@
 // Usage:
 //
 //	cachesweep [-ops N] [-seed N]
+//	           [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//
+// The sweeper is purely functional (no timing model), so observability
+// artifacts use the instruction count as the clock: trace timestamps are
+// instructions (~cycles at the uniprocessor's ~1 CPI) and the folded
+// profile attributes instructions to code components.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -20,9 +30,29 @@ func main() {
 	seed := flag.Uint64("seed", 20030208, "simulation seed")
 	mode := flag.String("mode", "size", "swept dimension: size, assoc, or block")
 	fixed := flag.Int("fixed", 256<<10, "cache size in bytes for assoc/block modes")
+	var ofl obs.Flags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
-	o := core.SweepOpts{WarmupOps: *warm, MeasureOps: *ops, Seed: *seed}
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "cachesweep", ofl.Heartbeat)
+	o := core.SweepOpts{WarmupOps: *warm, MeasureOps: *ops, Seed: *seed, Progress: hb}
+
+	// The workload configurations run concurrently, each with its own
+	// observer; artifacts merge at the end, in creation order.
+	var mu sync.Mutex
+	var observers []*obs.Observer
+	var labels []string
+	if ofl.Enabled() {
+		o.Observe = func(label string) *obs.Observer {
+			mu.Lock()
+			defer mu.Unlock()
+			ob := ofl.NewObserver(len(observers))
+			observers = append(observers, ob)
+			labels = append(labels, label)
+			return ob
+		}
+	}
 	var cs *core.CacheSweeps
 	var dim string
 	switch *mode {
@@ -59,5 +89,25 @@ func main() {
 			fmt.Printf(" | %12.3f %12.3f", r.ICurve[i].MissesPer1000, r.DCurve[i].MissesPer1000)
 		}
 		fmt.Println()
+	}
+	hb.Stop()
+
+	if ofl.Enabled() {
+		m := &obs.Manifest{
+			Command: "cachesweep",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{*seed},
+			Opts: map[string]any{
+				"warmup_ops": *warm, "measure_ops": *ops,
+				"mode": *mode, "fixed_bytes": *fixed,
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts(labels, observers, nil, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

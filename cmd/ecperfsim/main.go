@@ -6,13 +6,17 @@
 // Usage:
 //
 //	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
+//	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,6 +25,8 @@ func main() {
 	seed := flag.Uint64("seed", 20030208, "simulation seed")
 	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
 	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	var ofl obs.Flags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
 	sys := core.BuildSystem(core.SystemParams{
@@ -29,10 +35,15 @@ func main() {
 		Scale:      *oir,
 		Seed:       *seed,
 	})
+	var ob *obs.Observer
+	if ofl.Enabled() {
+		ob = ofl.NewObserver(0)
+	}
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "ecperfsim", ofl.Heartbeat)
 	eng := sys.Engine
-	eng.Run(*warmup)
-	eng.ResetStats()
-	eng.Run(*warmup + *measure)
+	delta := core.ObserveRun(sys, ob, hb, *warmup, *measure)
+	hb.Stop()
 	res := eng.Results()
 
 	seconds := float64(*measure) / core.CyclesPerSecond
@@ -70,4 +81,23 @@ func main() {
 		100*sys.DB.Utilization(), 100*sys.Supplier.Utilization())
 	fmt.Printf("gc: %d collections, %.1f%% of wall time\n",
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure))
+
+	if ofl.Enabled() {
+		m := &obs.Manifest{
+			Command: "ecperfsim",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{*seed},
+			Opts: map[string]any{
+				"processors": *procs, "oir": *oir,
+				"warmup_cycles": *warmup, "measure_cycles": *measure,
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts([]string{"ECperf"}, []*obs.Observer{ob}, []*obs.Snapshot{delta}, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

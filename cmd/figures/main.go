@@ -6,10 +6,16 @@
 // Usage:
 //
 //	figures [-fig N] [-quick] [-seeds K]
+//	        [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //
 // Without -fig, every figure is produced (Figures 4–9 share one scaling
 // sweep per workload, so the whole set costs little more than its largest
 // member). -quick selects the reduced test-sized configuration.
+//
+// The observability flags additionally run one fully-observed point per
+// workload (the largest processor count, first seed) and write a Chrome
+// trace, a metrics-registry snapshot, and/or a folded-stack cycle profile,
+// each with a reproducibility manifest (<file>.manifest.json) beside it.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -28,6 +35,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced runs (single seed, short windows)")
 	seeds := flag.Int("seeds", 0, "override the number of seeds")
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots")
+	var ofl obs.Flags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
 	opts := core.DefaultOpts()
@@ -46,6 +55,11 @@ func main() {
 		opts.Seeds = stats.Seeds(20030208, *seeds)
 		sharedOpts.Seeds = opts.Seeds
 	}
+
+	hb := obs.StartHeartbeat(os.Stderr, "figures", ofl.Heartbeat)
+	defer hb.Stop()
+	opts.Progress = hb
+	sweepOpts.Progress = hb
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 	emitted := 0
@@ -128,5 +142,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no such figure: %d (the paper has Figures 4-16)\n", *fig)
 		os.Exit(2)
 	}
+
+	if ofl.Enabled() {
+		// One fully-observed point per workload: the largest sweep point,
+		// first seed. Workloads are kept apart by pid on the trace timeline
+		// and by scope in the folded profile.
+		procs := opts.Procs[len(opts.Procs)-1]
+		seed := opts.Seeds[0]
+		var observers []*obs.Observer
+		var snaps []*obs.Snapshot
+		var labels []string
+		for i, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
+			fmt.Fprintf(os.Stderr, "observed run: %s, %d processors, seed %d...\n", kind, procs, seed)
+			ob := ofl.NewObserver(i)
+			_, snap := core.RunObservedPoint(kind, procs, seed, opts, ob)
+			observers = append(observers, ob)
+			snaps = append(snaps, snap)
+			labels = append(labels, kind.String())
+		}
+		manifestOpts := opts
+		manifestOpts.Progress = nil
+		m := &obs.Manifest{
+			Command: "figures",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   opts.Seeds,
+			Opts: map[string]any{
+				"scaling":  manifestOpts,
+				"observed": map[string]any{"processors": procs, "seed": seed},
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts(labels, observers, snaps, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "done: %d figure renderings in %s\n", emitted, time.Since(start).Round(time.Second))
 }

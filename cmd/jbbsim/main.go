@@ -6,13 +6,17 @@
 // Usage:
 //
 //	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
+//	       [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,6 +25,8 @@ func main() {
 	seed := flag.Uint64("seed", 20030208, "simulation seed")
 	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
 	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	var ofl obs.Flags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
 	sys := core.BuildSystem(core.SystemParams{
@@ -29,10 +35,15 @@ func main() {
 		Scale:      *whs,
 		Seed:       *seed,
 	})
+	var ob *obs.Observer
+	if ofl.Enabled() {
+		ob = ofl.NewObserver(0)
+	}
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "jbbsim", ofl.Heartbeat)
 	eng := sys.Engine
-	eng.Run(*warmup)
-	eng.ResetStats()
-	eng.Run(*warmup + *measure)
+	delta := core.ObserveRun(sys, ob, hb, *warmup, *measure)
+	hb.Stop()
 	res := eng.Results()
 
 	seconds := float64(*measure) / core.CyclesPerSecond
@@ -61,4 +72,23 @@ func main() {
 	fmt.Printf("gc: %d collections, %.1f%% of wall time; heap live %0.1f MB\n",
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure),
 		float64(sys.Heap.Stats.LiveAfterLastGC)/(1<<20))
+
+	if ofl.Enabled() {
+		m := &obs.Manifest{
+			Command: "jbbsim",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{*seed},
+			Opts: map[string]any{
+				"processors": *procs, "warehouses": sys.Params.Scale,
+				"warmup_cycles": *warmup, "measure_cycles": *measure,
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts([]string{"SPECjbb"}, []*obs.Observer{ob}, []*obs.Snapshot{delta}, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

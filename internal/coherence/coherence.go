@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -157,6 +158,12 @@ type Bus struct {
 	// classes (a calibration diagnostic); MissClass counts per class.
 	ClassifyAddr func(addr uint64) int
 	MissClass    [8]uint64
+
+	// Tracer, when non-nil and with obs.CompMem enabled, records bus
+	// transactions as simulated-time instants (sampled — see
+	// obs.DefaultMemSample — because bus transactions outnumber every
+	// other traced event by orders of magnitude).
+	Tracer *obs.Tracer
 }
 
 // NewBus returns an empty bus; attach caches with AddNode.
@@ -294,6 +301,10 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
 	}
+	if n.bus.Tracer.Enabled(obs.CompMem) {
+		n.bus.Tracer.Instant(obs.CompMem, "bus.gets", n.id, now,
+			obs.Arg{Key: "src", Val: src.String()}, obs.Arg{Key: "addr", Val: ba})
+	}
 	st := Shared
 	if n.bus.Protocol == MESI && !anyCopy {
 		st = Exclusive
@@ -327,6 +338,10 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 			n.invalidateRemotes(ba)
 			l.State = Modified
 			l.Dirty = true
+			if n.bus.Tracer.Enabled(obs.CompMem) {
+				n.bus.Tracer.Instant(obs.CompMem, "bus.upgrade", n.id, now,
+					obs.Arg{Key: "addr", Val: ba})
+			}
 			return SrcUpgrade
 		}
 	}
@@ -351,6 +366,10 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	} else {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
+	}
+	if n.bus.Tracer.Enabled(obs.CompMem) {
+		n.bus.Tracer.Instant(obs.CompMem, "bus.getm", n.id, now,
+			obs.Arg{Key: "src", Val: src.String()}, obs.Arg{Key: "addr", Val: ba})
 	}
 	n.insert(ba, Modified)
 	if l := n.l2.Probe(ba); l != nil {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// AttachObserver wires an observer through an assembled system (tracer into
+// the engine and bus, profiler into every core) and registers the standard
+// metric namespace against its registry. Call it after BuildSystem and
+// before the first Run.
+//
+// The simulator is single-threaded per run, so concurrent runs (sweep
+// cells) must each get their own Observer; merge traces afterwards with
+// obs.WriteChromeTrace and keep them apart by Tracer.Pid.
+func AttachObserver(sys *System, ob *obs.Observer) {
+	if ob == nil {
+		return
+	}
+	sys.Engine.AttachObs(ob)
+	if ob.Tracer != nil {
+		ob.Tracer.NameProcess(ob.Tracer.Pid, sys.Params.Kind.String())
+	}
+	if ob.Profiler != nil && ob.Profiler.Scope == "" {
+		ob.Profiler.Scope = sys.Params.Kind.String()
+	}
+	registerMetrics(sys, ob.Registry)
+}
+
+// registerMetrics binds the machine's counters into the registry under the
+// component namespaces. Bindings are pull-model closures over the live
+// counters: registering costs nothing on the simulation hot path, and a
+// Snapshot reads everything coherently between run slices.
+func registerMetrics(sys *System, r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	eng, hier := sys.Engine, sys.Hier
+	bus := hier.Bus()
+
+	r.Counter("memsys.l2.miss", func() uint64 { return hier.DataMisses + hier.FetchMisses })
+	r.Counter("memsys.l2.data_miss", func() uint64 { return hier.DataMisses })
+	r.Counter("memsys.l2.fetch_miss", func() uint64 { return hier.FetchMisses })
+	r.Counter("memsys.l2.hit", func() uint64 { return bus.Stats.L2Hits })
+	r.Counter("memsys.bus.gets", func() uint64 { return bus.Stats.GetS })
+	r.Counter("memsys.bus.getm", func() uint64 { return bus.Stats.GetM })
+	r.Counter("memsys.bus.upgrade", func() uint64 { return bus.Stats.Upgrades })
+	r.Counter("memsys.bus.c2c", func() uint64 { return bus.Stats.C2CTransfers })
+	r.Counter("memsys.bus.mem", func() uint64 { return bus.Stats.MemTransfers })
+	r.Counter("memsys.bus.writeback", func() uint64 { return bus.Stats.Writebacks })
+	r.Counter("memsys.bus.inval", func() uint64 { return bus.Stats.Invalidations })
+
+	r.Counter("cpu.instructions", func() uint64 { return eng.Results().CPU.Instructions })
+	r.Counter("cpu.cycles.istall", func() uint64 { return eng.Results().CPU.IStallCycles })
+	r.Counter("cpu.cycles.dstall", func() uint64 { c := eng.Results().CPU; return c.DStall() })
+
+	r.Counter("jvm.gc.count", func() uint64 { return eng.Results().GCCount })
+	r.Counter("jvm.gc.wall_cycles", func() uint64 { return eng.Results().GCWall })
+	r.Histogram("jvm.gc.pause_cycles", func() stats.Histogram { return *eng.GCPauses() })
+	r.Gauge("jvm.heap.eden_used_bytes", func() float64 { return float64(sys.Heap.EdenUsed()) })
+	r.Gauge("jvm.heap.old_used_bytes", func() float64 { return float64(sys.Heap.OldUsed()) })
+
+	r.Counter("osmodel.lock.wait_cycles", func() uint64 { return eng.Results().LockWaitCycles })
+	r.Counter("osmodel.lock.blocks", func() uint64 { return eng.Results().LockBlocks })
+	r.Counter("osmodel.lock.acquires", func() uint64 { return eng.Results().LockAcquires })
+
+	r.Counter("workload.ops", func() uint64 { return eng.Results().BusinessOps })
+
+	if sys.DB != nil {
+		r.Gauge("net.db.utilization", func() float64 { return sys.DB.Utilization() })
+	}
+	if sys.Supplier != nil {
+		r.Gauge("net.supplier.utilization", func() float64 { return sys.Supplier.Utilization() })
+	}
+}
+
+// ObserveRun drives a built system through the standard warm-up/measure
+// discipline with an observer attached: warm-up runs in profiler phase
+// "warmup"; at the boundary the engine's stats, the profiler, and the
+// metrics base snapshot all reset together (so the folded profile and the
+// returned metrics delta cover exactly the window the figure metrics do);
+// measurement runs in phase "measure". The run advances in slices so hb
+// can report simulated-vs-wall progress while it goes. ob and hb may be
+// nil — the run is then identical to the plain warm-up/measure sequence.
+func ObserveRun(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measure uint64) *obs.Snapshot {
+	const slice = 2_000_000
+	AttachObserver(sys, ob)
+	eng := sys.Engine
+
+	var prof *obs.Profiler
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if ob != nil {
+		prof, reg, tracer = ob.Profiler, ob.Registry, ob.Tracer
+	}
+
+	runTo := func(from, to uint64) {
+		for t := from; t < to; {
+			t += slice
+			if t > to {
+				t = to
+			}
+			eng.Run(t)
+			hb.SetCycles(t)
+		}
+	}
+
+	prof.SetPhase("warmup")
+	runTo(0, warmup)
+	eng.ResetStats()
+	prof.Reset() // the folded profile covers exactly the measurement window
+	var base *obs.Snapshot
+	if reg != nil {
+		base = reg.Snapshot()
+	}
+	if tracer.Enabled(obs.CompWorkload) {
+		tracer.Instant(obs.CompWorkload, "measure.start", 0, eng.Now())
+	}
+	prof.SetPhase("measure")
+	runTo(warmup, warmup+measure)
+	hb.Add(1)
+
+	if reg != nil {
+		return reg.Snapshot().Delta(base)
+	}
+	return nil
+}
+
+// RunObservedPoint is RunScalingPoint with an observer attached (see
+// ObserveRun for the phase discipline). It returns the figure metrics and
+// the measurement-window metrics delta.
+func RunObservedPoint(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer) (ScalingPoint, *obs.Snapshot) {
+	sys := BuildSystem(SystemParams{Kind: kind, Processors: procs, Seed: seed})
+	delta := ObserveRun(sys, ob, o.Progress, o.WarmupCycles, o.MeasureCycles)
+	return summarizePoint(sys, procs, seed, o), delta
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -18,6 +19,9 @@ type Opts struct {
 	WarmupCycles uint64
 	// MeasureCycles is the steady-state measurement window.
 	MeasureCycles uint64
+	// Progress, when non-nil, is ticked once per completed run and credited
+	// with each run's simulated cycles — the sweep's liveness heartbeat.
+	Progress *obs.Heartbeat
 }
 
 // DefaultOpts is the full-fidelity configuration used by cmd/figures:
@@ -160,7 +164,14 @@ func measureScalingPoint(sys *System, procs int, seed uint64, o Opts) (ScalingPo
 	eng.Run(o.WarmupCycles)
 	eng.ResetStats()
 	eng.Run(o.WarmupCycles + o.MeasureCycles)
-	res := eng.Results()
+	return summarizePoint(sys, procs, seed, o), sys
+}
+
+// summarizePoint reduces a finished measurement window to the figure
+// metrics. The engine must have been reset at the warm-up boundary and run
+// through o.MeasureCycles.
+func summarizePoint(sys *System, procs int, seed uint64, o Opts) ScalingPoint {
+	res := sys.Engine.Results()
 
 	window := float64(o.MeasureCycles)
 	seconds := window / CyclesPerSecond
@@ -204,7 +215,7 @@ func measureScalingPoint(sys *System, procs int, seed uint64, o Opts) (ScalingPo
 		p.InstrPerOp = float64(c.Instructions) / float64(res.BusinessOps)
 	}
 	p.C2CRatio = sys.Hier.Bus().Stats.C2CRatio()
-	return p, sys
+	return p
 }
 
 // SweepCell aggregates the per-seed points of one (workload, processors)
@@ -260,6 +271,8 @@ func RunScalingSweep(kind Kind, o Opts) *ScalingSweep {
 			defer wg.Done()
 			for j := range ch {
 				sw.Cells[j.pi].Points[j.si] = RunScalingPoint(kind, o.Procs[j.pi], o.Seeds[j.si], o)
+				o.Progress.Add(1)
+				o.Progress.AddCycles(o.WarmupCycles + o.MeasureCycles)
 			}
 		}()
 	}

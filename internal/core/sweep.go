@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ifetch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/osmodel"
 	"repro/internal/simrand"
 	"repro/internal/trace"
@@ -20,6 +21,12 @@ type feeder struct {
 	sweepD *cache.Sweep
 	gen    *ifetch.Gen
 	instr  uint64
+
+	// Optional observability. The sweeper has no timing model, so the
+	// instruction count doubles as the clock (~1 CPI on the uniprocessor)
+	// and the profiler receives instruction counts as CatBase "cycles".
+	tracer *obs.Tracer
+	prof   *obs.Profiler
 }
 
 func newFeeder(layout *ifetch.CodeLayout, rng *simrand.Rand, icfgs, dcfgs []cache.Config) *feeder {
@@ -36,6 +43,7 @@ func (f *feeder) feedItems(items []trace.Item) {
 		switch it.Kind {
 		case trace.KindInstr:
 			f.instr += uint64(it.N)
+			f.prof.AddCycles(int(it.Comp), obs.CatBase, uint64(it.N))
 			f.gen.Segment(it.Comp, uint64(it.N), func(a mem.Addr) {
 				f.sweepI.Access(a, mem.IFetch)
 			})
@@ -45,6 +53,10 @@ func (f *feeder) feedItems(items []trace.Item) {
 			f.sweepD.AccessRange(it.Addr, uint64(it.N), mem.Write)
 		case trace.KindGCPause:
 			if it.GC != nil {
+				if f.tracer.Enabled(obs.CompJVM) {
+					f.tracer.Instant(obs.CompJVM, "gc", 0, f.instr,
+						obs.Arg{Key: "live_bytes", Val: it.GC.LiveBytes})
+				}
 				f.feedItems(it.GC.Items)
 			}
 		}
@@ -68,6 +80,14 @@ type SweepOpts struct {
 	// WarmupOps and MeasureOps are per-thread operation counts.
 	WarmupOps, MeasureOps int
 	Seed                  uint64
+
+	// Observe, when non-nil, supplies one observer per workload
+	// configuration (configurations run concurrently, so each needs its
+	// own). Trace timestamps are instruction counts — the sweeper has no
+	// timing model.
+	Observe func(label string) *obs.Observer
+	// Progress is ticked once per completed configuration.
+	Progress *obs.Heartbeat
 }
 
 // DefaultSweepOpts is the full-fidelity configuration.
@@ -85,6 +105,8 @@ type SweepResult struct {
 	Label  string
 	ICurve []cache.Point
 	DCurve []cache.Point
+	// Instructions fed through the sweeper in the measured rounds.
+	Instructions uint64
 }
 
 // runUniSweep builds the workload on a uniprocessor machine and streams
@@ -99,6 +121,31 @@ func runUniSweep(kind Kind, scale int, label string, o SweepOpts) SweepResult {
 func runUniSweepConfigs(kind Kind, scale int, label string, o SweepOpts, icfgs, dcfgs []cache.Config) SweepResult {
 	sys := BuildSystem(SystemParams{Kind: kind, Processors: 1, Scale: scale, Seed: o.Seed})
 	f := newFeeder(sys.Layout, simrand.New(o.Seed).Derive(77), icfgs, dcfgs)
+
+	var ob *obs.Observer
+	if o.Observe != nil {
+		ob = o.Observe(label)
+	}
+	if ob != nil {
+		f.tracer, f.prof = ob.Tracer, ob.Profiler
+		if f.tracer != nil {
+			f.tracer.NameProcess(f.tracer.Pid, label)
+		}
+		if f.prof != nil && f.prof.Scope == "" {
+			f.prof.Scope = label
+		}
+		if ob.Registry != nil {
+			ob.Registry.Counter("sweep.instructions", func() uint64 { return f.instr })
+			if f.prof != nil {
+				for _, comp := range sys.Layout.Components() {
+					name := comp.Name
+					ob.Registry.Counter("sweep.instr."+name, func() uint64 {
+						return f.prof.ComponentTotals()[name]
+					})
+				}
+			}
+		}
+	}
 
 	var sources []osmodel.OpSource
 	switch kind {
@@ -118,16 +165,25 @@ func runUniSweepConfigs(kind Kind, scale int, label string, o SweepOpts, icfgs, 
 		for k := 0; k < ops; k++ {
 			for tid, src := range sources {
 				op := src.NextOp(tid, now)
+				before := f.instr
 				f.feedItems(op.Items)
+				if op.Business && f.tracer.Enabled(obs.CompWorkload) {
+					f.tracer.Span(obs.CompWorkload, op.Tag, tid, before, f.instr)
+				}
 				now += op.Instructions() // ~1 cycle/instr on the uniprocessor
 			}
 		}
 	}
+	f.prof.SetPhase("warmup")
 	feedRound(o.WarmupOps)
 	f.reset()
+	f.prof.Reset()
+	f.prof.SetPhase("measure")
 	feedRound(o.MeasureOps)
 	ic, dc := f.curves()
-	return SweepResult{Label: label, ICurve: ic, DCurve: dc}
+	o.Progress.Add(1)
+	o.Progress.AddCycles(f.instr)
+	return SweepResult{Label: label, ICurve: ic, DCurve: dc, Instructions: f.instr}
 }
 
 // CacheSweeps holds the four workload configurations of Figures 12/13.

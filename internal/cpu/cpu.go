@@ -15,6 +15,7 @@ import (
 	"repro/internal/ifetch"
 	"repro/internal/mem"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 )
 
 // Config parameterizes one core's timing.
@@ -111,6 +112,15 @@ type Core struct {
 	baseCarry float64
 
 	Counters Counters
+
+	// Prof, when non-nil, receives every cycle this core charges,
+	// attributed to (component × stall category) — the same charge sites
+	// that feed Counters, so a profile and the Figure 6/7 CPI breakdown
+	// always agree exactly. Data references are attributed to the component
+	// of the most recent instruction segment (curComp), the way hardware
+	// counters attribute memory stalls to the running code.
+	Prof    *obs.Profiler
+	curComp mem.ComponentID
 }
 
 // NewCore binds a core to hierarchy slot id with its own fetch generator.
@@ -143,6 +153,11 @@ func (c *Core) ExecInstr(comp mem.ComponentID, n uint64, now uint64) uint64 {
 	c.Counters.Instructions += n
 	c.Counters.BaseCycles += baseCycles
 	c.Counters.IStallCycles += istall
+	c.curComp = comp
+	if c.Prof != nil {
+		c.Prof.AddCycles(int(comp), obs.CatBase, baseCycles)
+		c.Prof.AddCycles(int(comp), obs.CatIStall, istall)
+	}
 	return baseCycles + istall
 }
 
@@ -170,9 +185,30 @@ func (c *Core) Load(addr mem.Addr, size uint64, now uint64) uint64 {
 		if c.haveStore && la == c.lastStoreLine && now+stall-c.lastStoreTime < c.cfg.RAWWindow {
 			stall += c.cfg.RAWPenalty
 			c.Counters.DStallRAW += c.cfg.RAWPenalty
+			if c.Prof != nil {
+				c.Prof.AddCycles(int(c.curComp), obs.CatDRAW, c.cfg.RAWPenalty)
+			}
+		}
+		if c.Prof != nil {
+			c.Prof.AddCycles(int(c.curComp), obs.CatDTLB, r.TLBStall)
+			c.Prof.AddCycles(int(c.curComp), stallCat(r.Class), r.Stall)
 		}
 	}
 	return stall
+}
+
+// stallCat maps a memory-system stall class to its profiler category.
+func stallCat(cl memsys.StallClass) obs.Cat {
+	switch cl {
+	case memsys.StallL2Hit:
+		return obs.CatDL2Hit
+	case memsys.StallC2C:
+		return obs.CatDC2C
+	case memsys.StallMem:
+		return obs.CatDMem
+	default:
+		return obs.CatDL2Hit // unreachable: zero-stall classes carry no cycles
+	}
 }
 
 // Store performs a data write of [addr, addr+size) through the store
@@ -198,6 +234,9 @@ func (c *Core) Store(addr mem.Addr, size uint64, now uint64) uint64 {
 			t += wait
 			c.sb = c.sb[1:]
 			c.Counters.DStallStoreBuf += wait
+			if c.Prof != nil {
+				c.Prof.AddCycles(int(c.curComp), obs.CatDStoreBuf, wait)
+			}
 		}
 		r := c.hier.Write(c.id, la, t)
 		// Translation stalls the pipeline before the store can buffer.
@@ -205,6 +244,9 @@ func (c *Core) Store(addr mem.Addr, size uint64, now uint64) uint64 {
 			stall += r.TLBStall
 			t += r.TLBStall
 			c.Counters.DStallTLB += r.TLBStall
+			if c.Prof != nil {
+				c.Prof.AddCycles(int(c.curComp), obs.CatDTLB, r.TLBStall)
+			}
 		}
 		// The store drains in the background; its completion respects both
 		// its own latency and the drain port's throughput.

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Flags bundles the standard observability command-line options so every
+// driver command wires them uniformly:
+//
+//	-trace FILE      Chrome trace_event JSON (Perfetto / chrome://tracing)
+//	-metrics FILE    metrics-registry snapshot ("-" = stdout)
+//	-profile FILE    folded-stack simulated-cycle profile
+//	-heartbeat DUR   periodic progress line on stderr
+type Flags struct {
+	Trace     string
+	Metrics   string
+	Profile   string
+	Heartbeat time.Duration
+}
+
+// Register installs the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON file (load in Perfetto or chrome://tracing)")
+	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics-registry snapshot to this file ("-" = stdout)`)
+	fs.StringVar(&f.Profile, "profile", "", "write a folded-stack simulated-cycle profile (flamegraph.pl / speedscope)")
+	fs.DurationVar(&f.Heartbeat, "heartbeat", 0, "print a progress line every interval (0 = off)")
+}
+
+// Enabled reports whether any artifact was requested (the heartbeat alone
+// does not need an observer).
+func (f *Flags) Enabled() bool {
+	return f.Trace != "" || f.Metrics != "" || f.Profile != ""
+}
+
+// NewObserver builds an observer carrying only the requested parts — an
+// artifact that was not asked for keeps its nil (zero-overhead) path. pid
+// keeps multiple observers apart on a merged trace timeline.
+func (f *Flags) NewObserver(pid int) *Observer {
+	ob := &Observer{}
+	if f.Trace != "" {
+		ob.Tracer = NewTracer(AllComponents())
+		ob.Tracer.Pid = pid
+	}
+	if f.Metrics != "" {
+		ob.Registry = NewRegistry()
+	}
+	if f.Profile != "" {
+		ob.Profiler = NewProfiler()
+	}
+	return ob
+}
+
+// WriteArtifacts writes every requested artifact from the given observers
+// (one per observed run, with labels naming them in metrics output), then a
+// run manifest next to each produced file. snaps supplies the metrics
+// snapshot per observer; a nil entry falls back to a live registry
+// snapshot. The manifest's Outputs field is filled in here.
+func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*Snapshot, m *Manifest) error {
+	var outputs []string
+
+	if f.Trace != "" {
+		var trs []*Tracer
+		for _, ob := range observers {
+			if ob != nil {
+				trs = append(trs, ob.Tracer)
+			}
+		}
+		w, err := os.Create(f.Trace)
+		if err != nil {
+			return err
+		}
+		err = WriteChromeTrace(w, trs...)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, f.Trace)
+	}
+
+	if f.Metrics != "" {
+		write := func(w io.Writer) error {
+			for i, ob := range observers {
+				if ob == nil || ob.Registry == nil {
+					continue
+				}
+				snap := ob.Registry.Snapshot()
+				if i < len(snaps) && snaps[i] != nil {
+					snap = snaps[i]
+				}
+				if i < len(labels) {
+					if _, err := fmt.Fprintf(w, "== %s ==\n", labels[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := snap.WriteTo(w); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if f.Metrics == "-" {
+			if err := write(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			w, err := os.Create(f.Metrics)
+			if err != nil {
+				return err
+			}
+			err = write(w)
+			if cerr := w.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, f.Metrics)
+		}
+	}
+
+	if f.Profile != "" {
+		w, err := os.Create(f.Profile)
+		if err != nil {
+			return err
+		}
+		for _, ob := range observers {
+			if ob == nil {
+				continue
+			}
+			if werr := ob.Profiler.WriteFolded(w); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, f.Profile)
+	}
+
+	if m != nil {
+		m.Outputs = outputs
+		for _, p := range outputs {
+			if err := WriteManifest(p+".manifest.json", *m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

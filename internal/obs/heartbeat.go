@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Heartbeat prints periodic progress lines (runs completed, runs/sec,
+// simulated-vs-wall time) to a writer from a background ticker. Producers
+// update the atomic counters from any goroutine:
+//
+//   - sweep drivers Add(1) to Runs per completed simulation point;
+//   - single-run drivers store the engine's cycle position in SimCycles as
+//     they advance the run in slices.
+//
+// A nil *Heartbeat is valid and disabled.
+type Heartbeat struct {
+	// Runs counts completed simulation runs; TotalRuns, when non-zero, adds
+	// an "of N" to the report.
+	Runs      atomic.Uint64
+	TotalRuns uint64
+	// SimCycles is the current simulated-cycle position of a single run.
+	SimCycles atomic.Uint64
+
+	w     io.Writer
+	label string
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// StartHeartbeat begins printing one line every interval. Stop it with
+// Stop; a nil return (interval <= 0) is safely stoppable too.
+func StartHeartbeat(w io.Writer, label string, interval time.Duration) *Heartbeat {
+	if interval <= 0 {
+		return nil
+	}
+	h := &Heartbeat{
+		w:     w,
+		label: label,
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-tick.C:
+				fmt.Fprintln(h.w, h.line())
+			}
+		}
+	}()
+	return h
+}
+
+// Add records n completed runs.
+func (h *Heartbeat) Add(n uint64) {
+	if h != nil {
+		h.Runs.Add(n)
+	}
+}
+
+// SetCycles records the current simulated-cycle position.
+func (h *Heartbeat) SetCycles(c uint64) {
+	if h != nil {
+		h.SimCycles.Store(c)
+	}
+}
+
+// AddCycles credits simulated cycles (for sweeps, where concurrent runs
+// accumulate rather than share one clock).
+func (h *Heartbeat) AddCycles(c uint64) {
+	if h != nil {
+		h.SimCycles.Add(c)
+	}
+}
+
+// Stop halts the ticker and prints a final line.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	close(h.stop)
+	<-h.done
+	fmt.Fprintln(h.w, h.line())
+}
+
+func (h *Heartbeat) line() string {
+	wall := time.Since(h.start).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	s := fmt.Sprintf("%s: %.1fs wall", h.label, wall)
+	if runs := h.Runs.Load(); runs > 0 || h.TotalRuns > 0 {
+		if h.TotalRuns > 0 {
+			s += fmt.Sprintf(", %d/%d runs", runs, h.TotalRuns)
+		} else {
+			s += fmt.Sprintf(", %d runs", runs)
+		}
+		s += fmt.Sprintf(" (%.2f runs/s)", float64(runs)/wall)
+	}
+	if cy := h.SimCycles.Load(); cy > 0 {
+		simSec := float64(cy) / (CyclesPerMicrosecond * 1e6)
+		s += fmt.Sprintf(", sim %.1f Mcy (%.0f ms simulated, %.2f Mcy/s, %.1fx slower than hardware)",
+			float64(cy)/1e6, 1000*simSec, float64(cy)/1e6/wall, wall/simSec)
+	}
+	return s
+}

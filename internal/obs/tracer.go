@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CyclesPerMicrosecond converts the simulated 250 MHz cycle clock to the
+// microsecond timestamps the Chrome trace_event format expects.
+const CyclesPerMicrosecond = 250.0
+
+// DefaultMaxEvents caps a tracer's buffer; past it events are counted as
+// dropped rather than recorded, so a runaway trace cannot exhaust memory.
+const DefaultMaxEvents = 1 << 20
+
+// DefaultMemSample records one in every N bus transactions when memory
+// tracing is on. Bus transactions outnumber every other traced event by
+// orders of magnitude; sampling keeps them visible without drowning the
+// trace. Set SampleEvery(CompMem, 1) for an exhaustive record.
+const DefaultMemSample = 16
+
+// Event is one trace_event record on the simulated clock. Time and Dur are
+// in cycles; they are converted to microseconds only at export.
+type Event struct {
+	Name string
+	Comp Component
+	// Phase is 'X' (complete span) or 'i' (instant).
+	Phase byte
+	// Pid/Tid place the event on a Perfetto track: Pid groups a machine or
+	// workload, Tid is a thread ID or CPU within it.
+	Pid, Tid int
+	Time     uint64
+	Dur      uint64
+	// Args are optional key=value annotations (small, human-oriented).
+	Args []Arg
+}
+
+// Arg is one event annotation.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// Tracer records simulated-time events. A nil *Tracer is valid and
+// disabled: every method returns immediately, so instrumentation sites pay
+// one nil check when tracing is off.
+//
+// The tracer is not safe for concurrent use; one run owns one tracer.
+type Tracer struct {
+	enabled [numComponents]bool
+	sample  [numComponents]uint64 // record 1 in N (0/1 = all)
+	seen    [numComponents]uint64
+
+	events  []Event
+	max     int
+	dropped uint64
+
+	// Pid is the default process track for events recorded through this
+	// tracer; procNames label pid tracks in the exported trace.
+	Pid       int
+	procNames map[int]string
+	tidNames  map[[2]int]string
+}
+
+// NewTracer returns a tracer with the given components enabled.
+func NewTracer(comps []Component) *Tracer {
+	t := &Tracer{max: DefaultMaxEvents, procNames: map[int]string{}, tidNames: map[[2]int]string{}}
+	for _, c := range comps {
+		if int(c) < int(numComponents) {
+			t.enabled[c] = true
+		}
+	}
+	t.sample[CompMem] = DefaultMemSample
+	return t
+}
+
+// SetMaxEvents overrides the event cap.
+func (t *Tracer) SetMaxEvents(n int) {
+	if t != nil && n > 0 {
+		t.max = n
+	}
+}
+
+// SampleEvery records one in n events of the component (n <= 1 records
+// all). Only the memory component defaults to sampling.
+func (t *Tracer) SampleEvery(c Component, n uint64) {
+	if t != nil && int(c) < int(numComponents) {
+		t.sample[c] = n
+	}
+}
+
+// Enabled reports whether the component is traced. Call it before building
+// expensive arguments; Span and Instant re-check internally.
+func (t *Tracer) Enabled(c Component) bool {
+	return t != nil && t.enabled[c]
+}
+
+// NameProcess labels a pid track in the exported trace.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t != nil {
+		t.procNames[pid] = name
+	}
+}
+
+// NameThread labels a (pid, tid) track in the exported trace.
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t != nil {
+		t.tidNames[[2]int{pid, tid}] = name
+	}
+}
+
+func (t *Tracer) admit(c Component) bool {
+	if t == nil || !t.enabled[c] {
+		return false
+	}
+	if n := t.sample[c]; n > 1 {
+		t.seen[c]++
+		if t.seen[c]%n != 0 {
+			return false
+		}
+	}
+	if len(t.events) >= t.max {
+		t.dropped++
+		return false
+	}
+	return true
+}
+
+// Span records a complete [start, end) interval on track (t.Pid, tid).
+func (t *Tracer) Span(c Component, name string, tid int, start, end uint64, args ...Arg) {
+	if !t.admit(c) {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.events = append(t.events, Event{
+		Name: name, Comp: c, Phase: 'X', Pid: t.Pid, Tid: tid,
+		Time: start, Dur: end - start, Args: args,
+	})
+}
+
+// Instant records a point event on track (t.Pid, tid).
+func (t *Tracer) Instant(c Component, name string, tid int, at uint64, args ...Arg) {
+	if !t.admit(c) {
+		return
+	}
+	t.events = append(t.events, Event{
+		Name: name, Comp: c, Phase: 'i', Pid: t.Pid, Tid: tid, Time: at, Args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events the cap discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the recorded events (for tests and merging).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// WriteChromeTrace writes the tracers' merged events as Chrome trace_event
+// JSON (the "JSON array format"), loadable in Perfetto or chrome://tracing.
+// Cycle timestamps become microseconds at the simulated 250 MHz clock.
+func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		// Track-name metadata first, in deterministic order.
+		pids := make([]int, 0, len(t.procNames))
+		for pid := range t.procNames {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+				pid, quoteJSON(t.procNames[pid])))
+		}
+		keys := make([][2]int, 0, len(t.tidNames))
+		for k := range t.tidNames {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				k[0], k[1], quoteJSON(t.tidNames[k])))
+		}
+		for i := range t.events {
+			emit(formatEvent(&t.events[i]))
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func formatEvent(e *Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"name":%s,"cat":%s,"ph":"%c","pid":%d,"tid":%d,"ts":%.3f`,
+		quoteJSON(e.Name), quoteJSON(e.Comp.String()), e.Phase, e.Pid, e.Tid,
+		float64(e.Time)/CyclesPerMicrosecond)
+	if e.Phase == 'X' {
+		fmt.Fprintf(&b, `,"dur":%.3f`, float64(e.Dur)/CyclesPerMicrosecond)
+	}
+	if e.Phase == 'i' {
+		b.WriteString(`,"s":"t"`)
+	}
+	if len(e.Args) > 0 {
+		b.WriteString(`,"args":{`)
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(quoteJSON(a.Key))
+			b.WriteByte(':')
+			switch v := a.Val.(type) {
+			case string:
+				b.WriteString(quoteJSON(v))
+			case float64:
+				fmt.Fprintf(&b, "%g", v)
+			case bool:
+				fmt.Fprintf(&b, "%v", v)
+			default:
+				fmt.Fprintf(&b, "%d", v)
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// quoteJSON escapes a string for embedding in JSON output. Names here are
+// short ASCII identifiers; the escape covers the general case anyway.
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ifetch"
 	"repro/internal/memsys"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/simrand"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -242,11 +243,56 @@ type Engine struct {
 	latByTag                   map[string]*stats.Histogram
 	gcWall                     uint64
 	gcCount                    uint64
+	gcPauses                   stats.Histogram
 	lockWaitCycles             uint64
 	lockBlocks                 uint64
 	lockAcquires               uint64
 	waitMon, waitSpin, waitSem uint64
+
+	// Observability (nil when disabled — the zero-overhead default).
+	tracer *obs.Tracer
+	prof   *obs.Profiler
 }
+
+// threadTrackBase offsets thread IDs away from CPU IDs on the trace
+// timeline, so processor tracks (GC, bus) and thread tracks (locks, ops,
+// network) never collide.
+const threadTrackBase = 100
+
+// AttachObs wires an observer through the machine: the engine and its bus
+// get the tracer, every core gets the profiler with component names
+// resolved from the code layout, and thread/CPU tracks are labeled. Call
+// it once, before Run.
+func (e *Engine) AttachObs(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	e.tracer = o.Tracer
+	e.prof = o.Profiler
+	e.hier.Bus().Tracer = o.Tracer
+	// Only processor-set cores feed the profiler: Results aggregates the
+	// Figure 6/7 CPI decomposition over the processor set, and the profile
+	// must total to exactly the same cycles.
+	for _, p := range e.cfg.PSet {
+		e.cores[p].Prof = o.Profiler
+	}
+	for _, comp := range e.layout.Components() {
+		o.Profiler.NameComponent(int(comp.ID), comp.Name)
+	}
+	if o.Tracer != nil {
+		for i := 0; i < e.cfg.CPUs; i++ {
+			o.Tracer.NameThread(o.Tracer.Pid, i, fmt.Sprintf("cpu%d", i))
+		}
+		for _, th := range e.threads {
+			o.Tracer.NameThread(o.Tracer.Pid, threadTrackBase+th.id,
+				fmt.Sprintf("%s#%d", th.name, th.id))
+		}
+	}
+}
+
+// GCPauses returns the distribution of stop-the-world pause lengths in
+// cycles since the last ResetStats (the jvm.gc.pause_cycles metric).
+func (e *Engine) GCPauses() *stats.Histogram { return &e.gcPauses }
 
 // NewEngine builds a machine. The hierarchy must have cfg.CPUs slots; the
 // layout provides code components; net resolves NetCall items (may be nil
@@ -566,6 +612,10 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 				if t > th.opStart {
 					h.Add(t - th.opStart)
 				}
+				if e.tracer.Enabled(obs.CompWorkload) {
+					e.tracer.Span(obs.CompWorkload, th.op.Tag, threadTrackBase+th.id,
+						th.opStart, t)
+				}
 			}
 			if e.OnOpComplete != nil {
 				e.OnOpComplete(th.op, th.id, t)
@@ -651,6 +701,15 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 					} else {
 						e.waitMon += grant - next.lockBlockedAt
 					}
+					if e.tracer.Enabled(obs.CompOS) {
+						kind := "monitor"
+						if ls.spin {
+							kind = "spin"
+						}
+						e.tracer.Span(obs.CompOS, "lock.wait", threadTrackBase+next.id,
+							next.lockBlockedAt, grant,
+							obs.Arg{Key: "kind", Val: kind}, obs.Arg{Key: "lock", Val: it.ID})
+					}
 				}
 				e.wakeAt(next, grant)
 			} else {
@@ -694,6 +753,11 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 				if grant > next.lockBlockedAt {
 					e.lockWaitCycles += grant - next.lockBlockedAt
 					e.waitSem += grant - next.lockBlockedAt
+					if e.tracer.Enabled(obs.CompOS) {
+						e.tracer.Span(obs.CompOS, "lock.wait", threadTrackBase+next.id,
+							next.lockBlockedAt, grant,
+							obs.Arg{Key: "kind", Val: "sem"}, obs.Arg{Key: "lock", Val: it.ID})
+					}
 				}
 				e.wakeAt(next, grant)
 			} else {
@@ -717,6 +781,12 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 				e.OnExternalCall(th.id, it.Peer, uint32(it.ID), it.Aux, t)
 			} else {
 				done := e.net.RoundTrip(it.Peer, t, uint32(it.ID), it.Aux)
+				if e.tracer.Enabled(obs.CompNet) {
+					e.tracer.Span(obs.CompNet, "net.call", threadTrackBase+th.id, t, done,
+						obs.Arg{Key: "peer", Val: uint64(it.Peer)},
+						obs.Arg{Key: "req_bytes", Val: it.ID},
+						obs.Arg{Key: "resp_bytes", Val: uint64(it.Aux)})
+				}
 				e.wakeAt(th, done)
 			}
 			core.DrainStoreBuffer()
@@ -779,6 +849,10 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 	// on its processor. Collector cycles are user-mode JVM time. The world
 	// restarts when the slowest worker finishes (natural imbalance stands
 	// in for synchronization overhead).
+	var prevPhase string
+	if e.prof != nil {
+		prevPhase = e.prof.PushSubPhase("gc")
+	}
 	stwEnd := stwStart
 	workerEnd := make(map[int]uint64, len(workers))
 	for wi, wc := range workers {
@@ -847,6 +921,21 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 	e.freeAt[c] = stwEnd
 	e.gcWall += stwEnd - stwStart
 	e.gcCount++
+	e.gcPauses.Add(stwEnd - stwStart)
+	if e.prof != nil {
+		e.prof.SetPhase(prevPhase)
+	}
+	if e.tracer.Enabled(obs.CompJVM) {
+		name := "gc.minor"
+		if gc.Major {
+			name = "gc.major"
+		}
+		e.tracer.Span(obs.CompJVM, name, c, stwStart, stwEnd,
+			obs.Arg{Key: "live_bytes", Val: gc.LiveBytes},
+			obs.Arg{Key: "copied_objs", Val: gc.CopiedObjs},
+			obs.Arg{Key: "freed_bytes", Val: gc.FreedBytes},
+			obs.Arg{Key: "workers", Val: uint64(len(workers))})
+	}
 	return stwEnd
 }
 
@@ -897,6 +986,7 @@ func (e *Engine) ResetStats() {
 	e.latByTag = make(map[string]*stats.Histogram)
 	e.gcWall = 0
 	e.gcCount = 0
+	e.gcPauses = stats.Histogram{}
 	e.lockWaitCycles = 0
 	e.lockBlocks = 0
 	e.lockAcquires = 0

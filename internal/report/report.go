@@ -62,6 +62,15 @@ func cell(s core.Series, x float64) string {
 }
 
 func formatNum(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			return "Inf"
+		}
+		return "-Inf"
+	}
 	av := math.Abs(v)
 	switch {
 	case v == math.Trunc(v) && av < 1e7:
@@ -108,9 +117,25 @@ func Plot(w io.Writer, f core.Figure, width, height int) {
 		}
 		return v
 	}
+	// plottable skips points that cannot land on the grid: NaN or infinite
+	// coordinates (a NaN would otherwise poison the min/max bounds), and
+	// non-positive values on a log axis.
+	plottable := func(s core.Series, i int) bool {
+		if math.IsNaN(s.X[i]) || math.IsInf(s.X[i], 0) ||
+			math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+			return false
+		}
+		if f.LogX && s.X[i] <= 0 {
+			return false
+		}
+		if f.LogY && s.Y[i] <= 0 {
+			return false
+		}
+		return true
+	}
 	for _, s := range f.Series {
 		for i := range s.X {
-			if f.LogY && s.Y[i] <= 0 {
+			if !plottable(s, i) {
 				continue
 			}
 			minX, maxX = math.Min(minX, tx(s.X[i])), math.Max(maxX, tx(s.X[i]))
@@ -134,7 +159,7 @@ func Plot(w io.Writer, f core.Figure, width, height int) {
 	for si, s := range f.Series {
 		g := glyphs[si%len(glyphs)]
 		for i := range s.X {
-			if f.LogY && s.Y[i] <= 0 {
+			if !plottable(s, i) {
 				continue
 			}
 			cx := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(width-1))

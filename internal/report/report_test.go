@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -90,6 +91,94 @@ func TestMarkdownTable(t *testing.T) {
 	for _, want := range []string{"### Fig X — Sample", "| Processors |", "|---|", "| 1.90 ± 0.100 |", "- hello"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	var b strings.Builder
+	f := core.Figure{
+		ID:     "Fig 1pt",
+		Series: []core.Series{{Label: "A", X: []float64{8}, Y: []float64{2.5}}},
+	}
+	Plot(&b, f, 40, 10) // degenerate ranges must not divide by zero
+	out := b.String()
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+// gridGlyphs counts series glyphs on the plot grid itself, excluding the
+// header and the legend (whose "o=A" would inflate the count).
+func gridGlyphs(out string, g byte) int {
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  |") {
+			n += strings.Count(line, string(g))
+		}
+	}
+	return n
+}
+
+func TestPlotAllEqualY(t *testing.T) {
+	var b strings.Builder
+	f := core.Figure{
+		ID:     "Fig flat",
+		Series: []core.Series{{Label: "A", X: []float64{1, 2, 4, 8}, Y: []float64{3, 3, 3, 3}}},
+	}
+	Plot(&b, f, 40, 10)
+	if gridGlyphs(b.String(), 'o') != 4 {
+		t.Fatalf("flat series lost points:\n%s", b.String())
+	}
+}
+
+func TestPlotNaNInfGuards(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	f := core.Figure{
+		ID: "Fig bad",
+		Series: []core.Series{
+			{Label: "A", X: []float64{1, 2, 3, 4}, Y: []float64{nan, 5, inf, 7}},
+			{Label: "B", X: []float64{nan, inf, 3}, Y: []float64{1, 2, -inf}},
+		},
+	}
+	var b strings.Builder
+	Plot(&b, f, 40, 10) // must not panic or poison the bounds
+	out := b.String()
+	// Only the finite points of A survive; the bounds come from them alone.
+	if !strings.Contains(out, "top=7") || !strings.Contains(out, "bottom=5") {
+		t.Fatalf("NaN/Inf leaked into plot bounds:\n%s", out)
+	}
+	// A figure with no plottable points at all renders nothing and survives.
+	var b2 strings.Builder
+	Plot(&b2, core.Figure{
+		ID:     "Fig none",
+		Series: []core.Series{{Label: "A", X: []float64{1}, Y: []float64{nan}}},
+	}, 40, 10)
+}
+
+func TestPlotLogAxisSkipsNonPositive(t *testing.T) {
+	f := core.Figure{
+		ID:   "Fig log",
+		LogX: true, LogY: true,
+		Series: []core.Series{{Label: "A", X: []float64{0, 10, 100}, Y: []float64{5, 0, 50}}},
+	}
+	var b strings.Builder
+	Plot(&b, f, 40, 10)
+	// (0,5) and (10,0) are unplottable on log axes; only (100,50) remains.
+	if gridGlyphs(b.String(), 'o') != 1 {
+		t.Fatalf("log axis should keep exactly the one positive point:\n%s", b.String())
+	}
+}
+
+func TestFormatNumNonFinite(t *testing.T) {
+	cases := map[float64]string{
+		math.NaN():   "NaN",
+		math.Inf(1):  "Inf",
+		math.Inf(-1): "-Inf",
+	}
+	for in, want := range cases {
+		if got := formatNum(in); got != want {
+			t.Errorf("formatNum(%v) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -40,10 +40,21 @@ func (c *CounterSet) Merge(other *CounterSet) {
 	}
 }
 
-// String renders the counters one per line, sorted by name.
+// String renders the counters one per line in registration order — the
+// same order Names() reports, so the two views of a set always agree. Use
+// SortedString for an alphabetical rendering.
 func (c *CounterSet) String() string {
+	return c.render(c.names)
+}
+
+// SortedString renders the counters one per line, sorted by name.
+func (c *CounterSet) SortedString() string {
 	names := append([]string(nil), c.names...)
 	sort.Strings(names)
+	return c.render(names)
+}
+
+func (c *CounterSet) render(names []string) string {
 	var b strings.Builder
 	for _, n := range names {
 		fmt.Fprintf(&b, "%-32s %12d\n", n, c.values[n])

@@ -123,6 +123,27 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return 1 << 63
 }
 
+// Sub returns the bucket-wise difference h - base: the distribution of
+// samples added after base was captured. Counts saturate at zero so a
+// reset between the two captures degrades gracefully instead of
+// underflowing. Receiver and argument are unmodified.
+func (h *Histogram) Sub(base *Histogram) Histogram {
+	var d Histogram
+	if base == nil {
+		return *h
+	}
+	for i := range h.buckets {
+		if h.buckets[i] > base.buckets[i] {
+			d.buckets[i] = h.buckets[i] - base.buckets[i]
+			d.count += d.buckets[i]
+		}
+	}
+	if h.sum > base.sum {
+		d.sum = h.sum - base.sum
+	}
+	return d
+}
+
 // TimeSeries bins a counter into fixed-width intervals of simulated time.
 // Figure 10 (cache-to-cache transfers per second over time, 100 ms bins) is
 // rendered from one of these.
