@@ -36,6 +36,7 @@ func main() {
 
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "cachesweep", ofl.Heartbeat)
+	defer hb.Stop() // Stop is idempotent: this flushes a final line even on early return
 	o := core.SweepOpts{WarmupOps: *warm, MeasureOps: *ops, Seed: *seed, Progress: hb}
 
 	// The workload configurations run concurrently, each with its own

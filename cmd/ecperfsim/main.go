@@ -7,6 +7,19 @@
 //
 //	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
 //	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	          [-faults FILE|demo] [-fault-bin cycles] [-fault-report FILE]
+//	          [-watchdog cycles]
+//	          [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
+//
+// With -faults, the run becomes a robustness experiment: the same seed is
+// measured clean and with the fault schedule armed, and the tool prints the
+// throughput-under-fault curve, per-window recovery times, and the
+// retry/breaker/shed counters. "demo" uses the built-in schedule covering
+// every fault kind.
+//
+// With -checkpoint, a resumable checkpoint is written at the end of the run
+// (and every -checkpoint-every cycles); -resume continues a checkpointed
+// run — the resumed run is bit-identical to one that never stopped.
 package main
 
 import (
@@ -16,7 +29,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -25,29 +40,75 @@ func main() {
 	seed := flag.Uint64("seed", 20030208, "simulation seed")
 	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
 	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	faults := flag.String("faults", "", "fault schedule JSON file, or \"demo\" for the built-in schedule")
+	faultBin := flag.Uint64("fault-bin", 4_000_000, "throughput sampling bin for -faults, in cycles")
+	faultReport := flag.String("fault-report", "", "also write the -faults figure (markdown) to FILE")
+	watchdog := flag.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)")
+	ckptPath := flag.String("checkpoint", "", "write a resumable checkpoint to FILE")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)")
+	resume := flag.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)")
 	var ofl obs.Flags
 	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
-	sys := core.BuildSystem(core.SystemParams{
-		Kind:       core.ECperf,
-		Processors: *procs,
-		Scale:      *oir,
-		Seed:       *seed,
-	})
 	var ob *obs.Observer
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "ecperfsim", ofl.Heartbeat)
-	eng := sys.Engine
-	delta := core.ObserveRun(sys, ob, hb, *warmup, *measure)
+	// Stop is idempotent: the deferred call flushes a final progress line
+	// even when a fault/watchdog path exits early.
+	defer hb.Stop()
+
+	var plan *core.CheckpointPlan
+	if *ckptPath != "" {
+		plan = &core.CheckpointPlan{Path: *ckptPath, Every: *ckptEvery, Command: "ecperfsim"}
+	}
+
+	if *faults != "" {
+		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, ob, hb, &ofl, start)
+		return
+	}
+
+	var sys *core.System
+	var delta *obs.Snapshot
+	if *resume != "" {
+		cp, err := core.LoadCheckpoint(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resuming %s run at cycle %d (verifying replay)\n", cp.Params.Kind, cp.Cycle)
+		sys, err = core.ResumeRun(cp, hb, *measure, plan)
+		if err != nil {
+			fatal(err)
+		}
+		*warmup = cp.Warmup
+	} else {
+		sys = core.BuildSystem(core.SystemParams{
+			Kind:           core.ECperf,
+			Processors:     *procs,
+			Scale:          *oir,
+			Seed:           *seed,
+			WatchdogCycles: *watchdog,
+		})
+		var err error
+		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	hb.Stop()
+	if wd := sys.Engine.WatchdogTripped(); wd != nil {
+		fmt.Fprintf(os.Stderr, "watchdog tripped:\n%s\n", wd)
+		os.Exit(2)
+	}
+	eng := sys.Engine
 	res := eng.Results()
 
 	seconds := float64(*measure) / core.CyclesPerSecond
-	fmt.Printf("ECperf: %d processors, OIR %d, %.0f ms measured\n", *procs, *oir, seconds*1000)
+	fmt.Printf("ECperf: %d processors, OIR %d, %.0f ms measured\n",
+		sys.Params.Processors, sys.Params.Scale, seconds*1000)
 	fmt.Printf("throughput        %10.0f BBops/min (%0.0f/s)\n",
 		60*float64(res.BusinessOps)/seconds, float64(res.BusinessOps)/seconds)
 	for tag, n := range res.OpsByTag {
@@ -77,10 +138,15 @@ func main() {
 		100*bs.C2CRatio(), bs.C2CTransfers, bs.MemTransfers)
 	fmt.Printf("object cache: hit ratio %.1f%% (%d entries)\n",
 		100*sys.EC.Cache().HitRatio(), sys.EC.Cache().Len())
-	fmt.Printf("remote tiers: database %.0f%% utilized, supplier %.0f%%\n",
-		100*sys.DB.Utilization(), 100*sys.Supplier.Utilization())
+	if sys.DB != nil {
+		fmt.Printf("remote tiers: database %.0f%% utilized, supplier %.0f%%\n",
+			100*sys.DB.Utilization(), 100*sys.Supplier.Utilization())
+	}
 	fmt.Printf("gc: %d collections, %.1f%% of wall time\n",
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure))
+	if ckpt := *ckptPath; ckpt != "" {
+		fmt.Printf("checkpoint: saved to %s (resume with -resume %s)\n", ckpt, ckpt)
+	}
 
 	if ofl.Enabled() {
 		m := &obs.Manifest{
@@ -90,14 +156,85 @@ func main() {
 			Started: start,
 			Seeds:   []uint64{*seed},
 			Opts: map[string]any{
-				"processors": *procs, "oir": *oir,
+				"processors": sys.Params.Processors, "oir": sys.Params.Scale,
 				"warmup_cycles": *warmup, "measure_cycles": *measure,
 			},
 			WallSeconds: time.Since(start).Seconds(),
 		}
 		if err := ofl.WriteArtifacts([]string{"ECperf"}, []*obs.Observer{ob}, []*obs.Snapshot{delta}, m); err != nil {
-			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("writing observability artifacts: %w", err))
 		}
 	}
+}
+
+// runFaultExperiment is the -faults mode: a paired clean/faulted measurement
+// rendered as the throughput-under-fault curve.
+func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, ob *obs.Observer, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
+	var sched *fault.Schedule
+	if spec == "demo" {
+		sched = fault.Demo(warmup, measure)
+	} else {
+		var err error
+		sched, err = fault.LoadSchedule(spec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("fault schedule (%d events):\n", len(sched.Events))
+	for _, e := range sched.Events {
+		fmt.Printf("  %s\n", e)
+	}
+
+	o := core.FaultRunOpts{
+		Processors:    procs,
+		Seed:          seed,
+		Schedule:      sched,
+		WarmupCycles:  warmup,
+		MeasureCycles: measure,
+		BinCycles:     bin,
+		Observer:      ob,
+		Progress:      hb,
+	}
+	r := core.RunFaultExperiment(o)
+	hb.Stop()
+	f := core.FaultFigure(r)
+	report.Render(os.Stdout, f)
+
+	if reportPath != "" {
+		af, err := obs.AtomicCreate(reportPath, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		report.Markdown(af, f)
+		if err := af.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if ofl.Enabled() {
+		m := &obs.Manifest{
+			Command: "ecperfsim -faults",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{seed},
+			Opts: map[string]any{
+				"processors": procs, "schedule": spec,
+				"warmup_cycles": warmup, "measure_cycles": measure, "bin_cycles": bin,
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		var snap *obs.Snapshot
+		if ob != nil && ob.Registry != nil {
+			snap = ob.Registry.Snapshot()
+		}
+		if err := ofl.WriteArtifacts([]string{"ECperf-faulted"}, []*obs.Observer{ob}, []*obs.Snapshot{snap}, m); err != nil {
+			fatal(fmt.Errorf("writing observability artifacts: %w", err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecperfsim:", err)
+	os.Exit(1)
 }

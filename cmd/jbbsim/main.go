@@ -7,6 +7,8 @@
 //
 //	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
 //	       [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	       [-watchdog cycles]
+//	       [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
 package main
 
 import (
@@ -25,30 +27,67 @@ func main() {
 	seed := flag.Uint64("seed", 20030208, "simulation seed")
 	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
 	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
+	watchdog := flag.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)")
+	ckptPath := flag.String("checkpoint", "", "write a resumable checkpoint to FILE")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)")
+	resume := flag.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)")
 	var ofl obs.Flags
 	ofl.Register(flag.CommandLine)
 	flag.Parse()
 
-	sys := core.BuildSystem(core.SystemParams{
-		Kind:       core.SPECjbb,
-		Processors: *procs,
-		Scale:      *whs,
-		Seed:       *seed,
-	})
 	var ob *obs.Observer
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "jbbsim", ofl.Heartbeat)
-	eng := sys.Engine
-	delta := core.ObserveRun(sys, ob, hb, *warmup, *measure)
+	// Stop is idempotent: the deferred call flushes a final progress line
+	// even when an error path exits early.
+	defer hb.Stop()
+
+	var plan *core.CheckpointPlan
+	if *ckptPath != "" {
+		plan = &core.CheckpointPlan{Path: *ckptPath, Every: *ckptEvery, Command: "jbbsim"}
+	}
+
+	var sys *core.System
+	var delta *obs.Snapshot
+	if *resume != "" {
+		cp, err := core.LoadCheckpoint(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resuming %s run at cycle %d (verifying replay)\n", cp.Params.Kind, cp.Cycle)
+		sys, err = core.ResumeRun(cp, hb, *measure, plan)
+		if err != nil {
+			fatal(err)
+		}
+		*warmup = cp.Warmup
+	} else {
+		sys = core.BuildSystem(core.SystemParams{
+			Kind:           core.SPECjbb,
+			Processors:     *procs,
+			Scale:          *whs,
+			Seed:           *seed,
+			WatchdogCycles: *watchdog,
+		})
+		var err error
+		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	hb.Stop()
+	if wd := sys.Engine.WatchdogTripped(); wd != nil {
+		fmt.Fprintf(os.Stderr, "watchdog tripped:\n%s\n", wd)
+		os.Exit(2)
+	}
+	eng := sys.Engine
 	res := eng.Results()
 
 	seconds := float64(*measure) / core.CyclesPerSecond
 	fmt.Printf("SPECjbb: %d processors, %d warehouses, %.0f ms measured\n",
-		*procs, sys.Params.Scale, seconds*1000)
+		sys.Params.Processors, sys.Params.Scale, seconds*1000)
 	fmt.Printf("throughput        %10.0f transactions/s\n", float64(res.BusinessOps)/seconds)
 	fmt.Printf("transactions      %10d\n", res.BusinessOps)
 	for tag, n := range res.OpsByTag {
@@ -72,6 +111,9 @@ func main() {
 	fmt.Printf("gc: %d collections, %.1f%% of wall time; heap live %0.1f MB\n",
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure),
 		float64(sys.Heap.Stats.LiveAfterLastGC)/(1<<20))
+	if ckpt := *ckptPath; ckpt != "" {
+		fmt.Printf("checkpoint: saved to %s (resume with -resume %s)\n", ckpt, ckpt)
+	}
 
 	if ofl.Enabled() {
 		m := &obs.Manifest{
@@ -81,14 +123,18 @@ func main() {
 			Started: start,
 			Seeds:   []uint64{*seed},
 			Opts: map[string]any{
-				"processors": *procs, "warehouses": sys.Params.Scale,
+				"processors": sys.Params.Processors, "warehouses": sys.Params.Scale,
 				"warmup_cycles": *warmup, "measure_cycles": *measure,
 			},
 			WallSeconds: time.Since(start).Seconds(),
 		}
 		if err := ofl.WriteArtifacts([]string{"SPECjbb"}, []*obs.Observer{ob}, []*obs.Snapshot{delta}, m); err != nil {
-			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("writing observability artifacts: %w", err))
 		}
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jbbsim:", err)
+	os.Exit(1)
 }

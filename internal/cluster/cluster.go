@@ -17,6 +17,7 @@
 package cluster
 
 import (
+	"repro/internal/fault"
 	"repro/internal/osmodel"
 	"repro/internal/trace"
 	"repro/internal/workload/dbserver"
@@ -34,9 +35,19 @@ type Coordinator struct {
 	window  uint64
 	latency uint64
 
-	// Requests counts app→db calls; Replies counts completed round trips.
+	// Fault injection (nil = none): during a node-crash or partition window
+	// aimed at dbPeer, requests are not delivered — the caller is woken
+	// empty-handed after dropTimeout instead of when a reply arrives.
+	faults      *fault.Injector
+	dbPeer      uint8
+	dropTimeout uint64
+
+	// Requests counts app→db calls; Replies counts completed round trips;
+	// Dropped counts requests lost to fault windows. At any quiescent point
+	// Requests == Replies + Dropped + (requests still in flight).
 	Requests uint64
 	Replies  uint64
+	Dropped  uint64
 }
 
 // New wires the two machines together. The application server's network
@@ -55,6 +66,21 @@ func New(app, db *osmodel.Engine, srv *dbserver.Server, latency uint64) *Coordin
 	}
 	app.OnExternalCall = func(tid int, peer uint8, req, resp uint32, t uint64) {
 		c.Requests++
+		// A crashed or partitioned database machine never sees the request:
+		// the caller blocks until its timeout and resumes empty-handed. The
+		// request (and any reply already in flight the other way) is lost —
+		// exactly the asymmetry a real partition produces.
+		if out := c.faults.CallOutcome(c.dbPeer, t); out != fault.OK {
+			c.Dropped++
+			wake := t + c.dropTimeout
+			if out == fault.FastFail {
+				// Connection refused: the crashed machine's peer OS answers
+				// with a reset after one wire round trip, not a timeout.
+				wake = t + 2*c.latency
+			}
+			app.WakeExternal(tid, wake)
+			return
+		}
 		srv.Enqueue(dbserver.Request{
 			SourceThread: tid,
 			ReqBytes:     req,
@@ -88,6 +114,23 @@ func (c *Coordinator) Run(horizon uint64) {
 		}
 	}
 }
+
+// SetFaults arms fault injection on the app→db path: node-crash and
+// partition windows in inj's schedule aimed at dbPeer (the peer id the app
+// server dials) drop requests. A dropped caller is woken after
+// timeoutCycles (0 picks the default policy's timeout); a fast-failed one
+// (crash) after a bare wire round trip. nil disarms.
+func (c *Coordinator) SetFaults(inj *fault.Injector, dbPeer uint8, timeoutCycles uint64) {
+	if timeoutCycles == 0 {
+		timeoutCycles = uint64(fault.DefaultPolicy().TimeoutCycles)
+	}
+	c.faults = inj
+	c.dbPeer = dbPeer
+	c.dropTimeout = timeoutCycles
+}
+
+// InFlight returns the requests accepted but not yet replied or dropped.
+func (c *Coordinator) InFlight() uint64 { return c.Requests - c.Replies - c.Dropped }
 
 // Window returns the lockstep window (for tests).
 func (c *Coordinator) Window() uint64 { return c.window }

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/simrand"
+)
+
+// partitioned returns a coordinator with a partition (or crash) window on
+// the database peer, over the standard two-machine rig.
+func partitioned(t *testing.T, calls int, kind fault.Kind, at, dur uint64) (*Coordinator, func() uint64) {
+	t.Helper()
+	coord, app, _ := rig(t, calls)
+	s := &fault.Schedule{Events: []fault.Event{{Kind: kind, At: at, Duration: dur, Peer: 1}}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	coord.SetFaults(fault.NewInjector(s, simrand.New(9)), 1, 0)
+	return coord, func() uint64 { return app.Results().BusinessOps }
+}
+
+// TestPartitionHealConservation drives calls through a mid-run partition
+// window and checks the books balance after the heal: every request is
+// either replied, dropped, or still in flight — none vanish — and every
+// caller eventually completes its operation (the dropped ones via their
+// timeout wake).
+func TestPartitionHealConservation(t *testing.T) {
+	const calls = 60
+	coord, ops := partitioned(t, calls, fault.Partition, 2_000_000, 5_000_000)
+	coord.Run(80_000_000)
+
+	if coord.Requests != calls {
+		t.Fatalf("requests = %d, want %d", coord.Requests, calls)
+	}
+	if coord.Dropped == 0 {
+		t.Fatal("partition window dropped nothing")
+	}
+	if coord.Replies == 0 {
+		t.Fatal("no calls survived outside the partition")
+	}
+	if coord.Replies+coord.Dropped+coord.InFlight() != coord.Requests {
+		t.Fatalf("accounting leak: %d replies + %d dropped + %d in flight != %d requests",
+			coord.Replies, coord.Dropped, coord.InFlight(), coord.Requests)
+	}
+	if coord.InFlight() != 0 {
+		t.Fatalf("%d requests still in flight at quiescence", coord.InFlight())
+	}
+	// Dropped callers resume on their timeout: every operation completes.
+	if got := ops(); got != calls {
+		t.Fatalf("caller completed %d ops, want %d", got, calls)
+	}
+}
+
+// TestCrashFastFailsQuickly checks a crashed node answers with a fast
+// connection-refused (one wire round trip), not a full timeout: the
+// crash-window run finishes all calls well before the partition-window run
+// would, and still conserves throughput accounting.
+func TestCrashFastFailsQuickly(t *testing.T) {
+	const calls = 40
+	coord, ops := partitioned(t, calls, fault.NodeCrash, 1_000_000, 8_000_000)
+	coord.Run(60_000_000)
+	if coord.Dropped == 0 {
+		t.Fatal("crash window dropped nothing")
+	}
+	if coord.Replies+coord.Dropped != coord.Requests {
+		t.Fatalf("accounting leak: %d + %d != %d", coord.Replies, coord.Dropped, coord.Requests)
+	}
+	if got := ops(); got != calls {
+		t.Fatalf("caller completed %d ops, want %d", got, calls)
+	}
+	// Fast-fail wakes after 2 wire latencies (~25k cycles); a timeout wake
+	// would be 400k. With the crash covering ~20+ calls, the difference in
+	// total simulated time is large: all calls must finish inside the
+	// window + small change. Conservative bound: every drop cost < 100k.
+	if coord.Dropped < 20 {
+		t.Fatalf("crash window too short to observe fast-fail pacing (%d drops)", coord.Dropped)
+	}
+}
+
+// TestFaultedCoSimDeterministic checks the same seed and schedule
+// reproduce identical fault accounting.
+func TestFaultedCoSimDeterministic(t *testing.T) {
+	run := func() [3]uint64 {
+		coord, ops := partitioned(t, 30, fault.Partition, 1_500_000, 4_000_000)
+		coord.Run(60_000_000)
+		return [3]uint64{coord.Replies, coord.Dropped, ops()}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("faulted co-simulation not deterministic: %v != %v", a, b)
+	}
+}
+
+// TestNoFaultsPathUnchanged checks a nil injector leaves the coordinator's
+// behavior identical to an un-faulted one.
+func TestNoFaultsPathUnchanged(t *testing.T) {
+	plain, appPlain, _ := rig(t, 10)
+	plain.Run(40_000_000)
+
+	armed, appArmed, _ := rig(t, 10)
+	armed.SetFaults(nil, 1, 0)
+	armed.Run(40_000_000)
+
+	if plain.Replies != armed.Replies || armed.Dropped != 0 {
+		t.Fatalf("nil injector changed behavior: %d/%d vs %d/%d+%d",
+			plain.Requests, plain.Replies, armed.Requests, armed.Replies, armed.Dropped)
+	}
+	if appPlain.Results().BusinessOps != appArmed.Results().BusinessOps {
+		t.Fatal("nil injector changed completed ops")
+	}
+}

@@ -164,10 +164,15 @@ type Bus struct {
 	// obs.DefaultMemSample — because bus transactions outnumber every
 	// other traced event by orders of magnitude).
 	Tracer *obs.Tracer
+
+	// Sanitize re-checks the protocol's cross-cache invariants after every
+	// transaction and panics on the first violation (see sanitize.go). Off
+	// by default; COHERENCE_SANITIZE=1 enables it process-wide for CI.
+	Sanitize bool
 }
 
 // NewBus returns an empty bus; attach caches with AddNode.
-func NewBus() *Bus { return &Bus{} }
+func NewBus() *Bus { return &Bus{Sanitize: sanitizeEnv} }
 
 // AddNode attaches an L2 cache to the bus and returns its node handle.
 // onInvalidate, if non-nil, is called whenever the protocol removes or
@@ -260,6 +265,9 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 	if l := n.l2.Probe(ba); l != nil {
 		n.l2.Touch(l)
 		n.bus.Stats.L2Hits++
+		if n.bus.Sanitize {
+			n.bus.sanitize(ba)
+		}
 		return SrcLocal
 	}
 	// Bus GetS.
@@ -310,6 +318,9 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 		st = Exclusive
 	}
 	n.insert(ba, st)
+	if n.bus.Sanitize {
+		n.bus.sanitize(ba)
+	}
 	return src
 }
 
@@ -325,12 +336,18 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 		case Modified:
 			n.bus.Stats.L2Hits++
 			l.Dirty = true
+			if n.bus.Sanitize {
+				n.bus.sanitize(ba)
+			}
 			return SrcLocal
 		case Exclusive:
 			// MESI silent upgrade: no bus transaction at all.
 			n.bus.Stats.L2Hits++
 			l.State = Modified
 			l.Dirty = true
+			if n.bus.Sanitize {
+				n.bus.sanitize(ba)
+			}
 			return SrcLocal
 		case Shared, Owned:
 			// Upgrade: invalidate remote copies, no data transfer.
@@ -341,6 +358,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 			if n.bus.Tracer.Enabled(obs.CompMem) {
 				n.bus.Tracer.Instant(obs.CompMem, "bus.upgrade", n.id, now,
 					obs.Arg{Key: "addr", Val: ba})
+			}
+			if n.bus.Sanitize {
+				n.bus.sanitize(ba)
 			}
 			return SrcUpgrade
 		}
@@ -374,6 +394,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	n.insert(ba, Modified)
 	if l := n.l2.Probe(ba); l != nil {
 		l.Dirty = true
+	}
+	if n.bus.Sanitize {
+		n.bus.sanitize(ba)
 	}
 	return src
 }

@@ -20,6 +20,10 @@ func AttachObserver(sys *System, ob *obs.Observer) {
 	sys.Engine.AttachObs(ob)
 	if ob.Tracer != nil {
 		ob.Tracer.NameProcess(ob.Tracer.Pid, sys.Params.Kind.String())
+		// Scheduled fault windows become spans on the fault track; the
+		// injector then also emits resilience instants (retries, sheds,
+		// breaker transitions) as the run hits them.
+		sys.Faults.AttachTracer(ob.Tracer, -1)
 	}
 	if ob.Profiler != nil && ob.Profiler.Scope == "" {
 		ob.Profiler.Scope = sys.Params.Kind.String()
@@ -72,6 +76,32 @@ func registerMetrics(sys *System, r *obs.Registry) {
 	if sys.Supplier != nil {
 		r.Gauge("net.supplier.utilization", func() float64 { return sys.Supplier.Utilization() })
 	}
+
+	if inj := sys.Faults; inj != nil {
+		r.Counter("fault.injected.refused", func() uint64 { return inj.Stats.Refused })
+		r.Counter("fault.injected.dropped_partition", func() uint64 { return inj.Stats.DroppedPartition })
+		r.Counter("fault.injected.dropped_loss", func() uint64 { return inj.Stats.DroppedLoss })
+		r.Counter("fault.injected.latency_scaled", func() uint64 { return inj.Stats.LatencyScaled })
+		r.Counter("fault.injected.service_scaled", func() uint64 { return inj.Stats.ServiceScaled })
+		r.Counter("fault.injected.gc_scaled", func() uint64 { return inj.Stats.GCScaled })
+	}
+	if sys.EC != nil {
+		if c := sys.EC.Caller(); c != nil {
+			r.Counter("fault.call.calls", func() uint64 { return c.Stats.Calls })
+			r.Counter("fault.call.attempts", func() uint64 { return c.Stats.Attempts })
+			r.Counter("fault.call.retries", func() uint64 { return c.Stats.Retries })
+			r.Counter("fault.call.timeouts", func() uint64 { return c.Stats.Timeouts })
+			r.Counter("fault.call.fastfails", func() uint64 { return c.Stats.FastFails })
+			r.Counter("fault.call.failures", func() uint64 { return c.Stats.Failures })
+			r.Counter("fault.call.successes", func() uint64 { return c.Stats.Successes })
+			r.Counter("fault.breaker.opens", func() uint64 { return c.BreakerStats().Opens })
+			r.Counter("fault.breaker.rejects", func() uint64 { return c.BreakerStats().Rejects })
+			r.Counter("fault.breaker.probes", func() uint64 { return c.BreakerStats().Probes })
+			r.Counter("fault.shed", func() uint64 { return c.ShedCount() })
+		}
+		r.Counter("workload.ops.failed", func() uint64 { return sys.EC.FailedOps })
+		r.Counter("workload.ops.shed", func() uint64 { return sys.EC.ShedOps })
+	}
 }
 
 // ObserveRun drives a built system through the standard warm-up/measure
@@ -83,6 +113,15 @@ func registerMetrics(sys *System, r *obs.Registry) {
 // can report simulated-vs-wall progress while it goes. ob and hb may be
 // nil — the run is then identical to the plain warm-up/measure sequence.
 func ObserveRun(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measure uint64) *obs.Snapshot {
+	snap, _ := ObserveRunCheckpointed(sys, ob, hb, warmup, measure, nil)
+	return snap
+}
+
+// ObserveRunCheckpointed is ObserveRun with run survivability: when plan is
+// non-nil, a resumable checkpoint is saved at the plan's cadence during the
+// measurement window and at the end. Checkpoint save failures abort the run
+// (a survivability run with no checkpoints is not what was asked for).
+func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measure uint64, plan *CheckpointPlan) (*obs.Snapshot, error) {
 	const slice = 2_000_000
 	AttachObserver(sys, ob)
 	eng := sys.Engine
@@ -94,7 +133,11 @@ func ObserveRun(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measur
 		prof, reg, tracer = ob.Profiler, ob.Registry, ob.Tracer
 	}
 
-	runTo := func(from, to uint64) {
+	nextSave := uint64(0)
+	if plan != nil && plan.Every > 0 {
+		nextSave = warmup + plan.Every
+	}
+	runTo := func(from, to uint64) error {
 		for t := from; t < to; {
 			t += slice
 			if t > to {
@@ -102,11 +145,22 @@ func ObserveRun(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measur
 			}
 			eng.Run(t)
 			hb.SetCycles(t)
+			if nextSave > 0 && t >= nextSave {
+				if err := plan.save(sys, warmup, t); err != nil {
+					return err
+				}
+				for nextSave <= t {
+					nextSave += plan.Every
+				}
+			}
 		}
+		return nil
 	}
 
 	prof.SetPhase("warmup")
-	runTo(0, warmup)
+	if err := runTo(0, warmup); err != nil {
+		return nil, err
+	}
 	eng.ResetStats()
 	prof.Reset() // the folded profile covers exactly the measurement window
 	var base *obs.Snapshot
@@ -117,13 +171,18 @@ func ObserveRun(sys *System, ob *obs.Observer, hb *obs.Heartbeat, warmup, measur
 		tracer.Instant(obs.CompWorkload, "measure.start", 0, eng.Now())
 	}
 	prof.SetPhase("measure")
-	runTo(warmup, warmup+measure)
+	if err := runTo(warmup, warmup+measure); err != nil {
+		return nil, err
+	}
+	if err := plan.save(sys, warmup, warmup+measure); err != nil {
+		return nil, err
+	}
 	hb.Add(1)
 
 	if reg != nil {
-		return reg.Snapshot().Delta(base)
+		return reg.Snapshot().Delta(base), nil
 	}
-	return nil
+	return nil, nil
 }
 
 // RunObservedPoint is RunScalingPoint with an observer attached (see

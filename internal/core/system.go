@@ -14,8 +14,12 @@
 package core
 
 import (
+	"fmt"
+
+	"repro/internal/appserver"
 	"repro/internal/coherence"
 	"repro/internal/db"
+	"repro/internal/fault"
 	"repro/internal/ifetch"
 	"repro/internal/jvm"
 	"repro/internal/mem"
@@ -96,6 +100,23 @@ type SystemParams struct {
 	// than a queueing model: the peer is registered external and a cluster
 	// coordinator must deliver its traffic (BuildCoSim wires everything).
 	CoSimDB bool
+
+	// Robustness knobs (zero values: no faults, no watchdog).
+
+	// FaultSchedule, when non-nil, arms deterministic fault injection: one
+	// injector (seeded from Seed) is threaded through the network, the
+	// remote tiers, and the engine, and the ECperf middle tier routes its
+	// remote calls through a resilient caller (timeouts, retries, breaker,
+	// load shedding) governed by FaultPolicy.
+	FaultSchedule *fault.Schedule
+	// FaultPolicy overrides the resilience policy (nil = DefaultPolicy).
+	// It must validate; BuildSystem panics otherwise, like any other
+	// malformed experiment configuration.
+	FaultPolicy *fault.Policy
+	// WatchdogCycles arms the engine's simulated-time watchdog: a run that
+	// makes no forward progress for this many cycles (or is provably
+	// deadlocked) aborts with a diagnostic dump instead of spinning.
+	WatchdogCycles uint64
 }
 
 // System is an assembled machine ready to run.
@@ -115,6 +136,9 @@ type System struct {
 	// Remote tiers (ECperf only).
 	DB       *db.Server
 	Supplier *db.Server
+
+	// Faults is the run's injector (nil without a FaultSchedule).
+	Faults *fault.Injector
 }
 
 // codeProfile returns the standard hot/warm/cold tiering for a component.
@@ -205,6 +229,14 @@ func BuildSystem(p SystemParams) *System {
 	}
 
 	sys := &System{Params: p, Hier: hier, Layout: layout, Space: space}
+	if p.FaultSchedule != nil {
+		if err := p.FaultSchedule.Validate(); err != nil {
+			panic(fmt.Sprintf("core: fault schedule: %v", err))
+		}
+		// Stream 20 is reserved for the injector so arming faults never
+		// perturbs the workload's or network's random sequences.
+		sys.Faults = fault.NewInjector(p.FaultSchedule, rng.Derive(20))
+	}
 
 	switch p.Kind {
 	case SPECjbb:
@@ -258,6 +290,24 @@ func BuildSystem(p SystemParams) *System {
 
 		wcfg := ecperf.DefaultConfig(p.Scale, p.Processors)
 		w := ecperf.New(wcfg, heap, comps, ns, rng.Derive(3))
+		if sys.Faults != nil {
+			// Thread the injector through every layer the schedule can
+			// touch, and put the resilient caller in front of remote calls.
+			net.SetFaults(sys.Faults)
+			if sys.DB != nil {
+				sys.DB.SetFaults(sys.Faults, ecperf.PeerDatabase)
+			}
+			sys.Supplier.SetFaults(sys.Faults, ecperf.PeerSupplier)
+			pol := fault.DefaultPolicy()
+			if p.FaultPolicy != nil {
+				pol = *p.FaultPolicy
+			}
+			caller, err := appserver.NewCaller(pol, sys.Faults, rng.Derive(21))
+			if err != nil {
+				panic(fmt.Sprintf("core: fault policy: %v", err))
+			}
+			w.EnableResilience(caller)
+		}
 		for i := 0; i < wcfg.Workers; i++ {
 			eng.AddThread("ec-worker", w.Source(i, -1))
 		}
@@ -287,6 +337,13 @@ func BuildSystem(p SystemParams) *System {
 			eng.AddThread("volano-conn", w.Source(i, -1))
 		}
 		sys.Engine, sys.Heap, sys.Vol = eng, heap, w
+	}
+	if sys.Faults != nil {
+		// GC-pause storms act at playback time inside the engine.
+		sys.Engine.SetFaults(sys.Faults)
+	}
+	if p.WatchdogCycles > 0 {
+		sys.Engine.SetWatchdog(p.WatchdogCycles)
 	}
 	return sys
 }

@@ -12,6 +12,7 @@
 package db
 
 import (
+	"repro/internal/fault"
 	"repro/internal/simrand"
 )
 
@@ -50,6 +51,8 @@ type Server struct {
 	served  uint64
 	busy    uint64 // total busy cycles, for utilization reporting
 	lastEnd uint64
+	faults  *fault.Injector
+	peer    uint8
 }
 
 // NewServer builds a server; it panics on a non-positive worker count.
@@ -79,6 +82,12 @@ func (s *Server) Respond(arrive uint64, reqBytes, respBytes uint32) uint64 {
 	if s.cfg.Jitter > 0 {
 		service = uint64(float64(service) * (1 - s.cfg.Jitter + s.rng.Exp(s.cfg.Jitter)))
 	}
+	// Fault windows inflate service time: a lock storm multiplies it for the
+	// window's span, and a node crash leaves a cold-cache recovery ramp that
+	// decays back to 1 after the machine comes back.
+	if f := s.faults.ServiceFactor(s.peer, arrive); f > 1 {
+		service = uint64(float64(service) * f)
+	}
 	done := start + service
 	s.free[w] = done
 	s.served++
@@ -87,6 +96,14 @@ func (s *Server) Respond(arrive uint64, reqBytes, respBytes uint32) uint64 {
 		s.lastEnd = done
 	}
 	return done
+}
+
+// SetFaults attaches a fault injector; db-lock-storm windows aimed at
+// `peer` (this server's network id) then multiply service times, and
+// node-crash windows leave a cold-cache recovery ramp. nil detaches.
+func (s *Server) SetFaults(inj *fault.Injector, peer uint8) {
+	s.faults = inj
+	s.peer = peer
 }
 
 // Served returns the number of requests handled.

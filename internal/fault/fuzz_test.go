@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSchedule asserts the schedule parser's contract: arbitrary input
+// must either yield a schedule that validates and round-trips, or an error —
+// never a panic and never a silently-invalid schedule.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		// Well-formed.
+		`{"events":[{"kind":"partition","at":20000000,"duration":2500000,"peer":1}]}`,
+		`{"events":[{"kind":"packet-loss","at":"30000000","duration":"2500000","peer":1,"magnitude":0.4}]}`,
+		`{"events":[{"kind":"latency-spike","at":1,"duration":1,"magnitude":8},{"kind":"gc-storm","at":1,"duration":1,"magnitude":5}]}`,
+		`{"events":[]}`,
+		`{}`,
+		// Malformed timestamps.
+		`{"events":[{"kind":"node-crash","at":-1,"duration":5}]}`,
+		`{"events":[{"kind":"node-crash","at":1.5,"duration":5}]}`,
+		`{"events":[{"kind":"node-crash","at":"1e9","duration":5}]}`,
+		`{"events":[{"kind":"node-crash","at":18446744073709551615,"duration":2}]}`,
+		`{"events":[{"kind":"node-crash","at":1}]}`,
+		// Overlapping windows.
+		`{"events":[{"kind":"partition","at":10,"duration":100},{"kind":"partition","at":50,"duration":100,"peer":3}]}`,
+		// Unknown kinds.
+		`{"events":[{"kind":"meteor","at":1,"duration":1}]}`,
+		`{"events":[{"kind":"","at":1,"duration":1}]}`,
+		// Broken syntax and wrong shapes.
+		`{"events":`,
+		`[]`,
+		`{"events": 7}`,
+		`{"events":[{"kind":7,"at":1,"duration":1}]}`,
+		`{"events":[{"kind":"gc-storm","at":{},"duration":1}]}`,
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSchedule(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error %v returned alongside a schedule", err)
+			}
+			return
+		}
+		// Accepted schedules must be internally valid...
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("parser accepted a schedule Validate rejects: %v", verr)
+		}
+		// ...and survive a marshal/parse round trip unchanged.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted schedule does not marshal: %v", err)
+		}
+		back, err := ParseSchedule(out)
+		if err != nil {
+			t.Fatalf("marshalled schedule does not re-parse: %v\n%s", err, out)
+		}
+		if len(back.Events) != len(s.Events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(back.Events), len(s.Events))
+		}
+		for i := range back.Events {
+			if back.Events[i] != s.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v != %+v", i, back.Events[i], s.Events[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// scheduleJSON is the on-disk schedule shape:
+//
+//	{
+//	  "events": [
+//	    {"kind": "partition",     "at": 20000000, "duration": 2500000, "peer": 1},
+//	    {"kind": "packet-loss",   "at": 30000000, "duration": 2500000, "peer": 1, "magnitude": 0.4},
+//	    {"kind": "latency-spike", "at": 40000000, "duration": 2500000, "magnitude": 8},
+//	    {"kind": "db-lock-storm", "at": 50000000, "duration": 2500000, "magnitude": 6},
+//	    {"kind": "node-crash",    "at": 60000000, "duration": 2500000, "peer": 1},
+//	    {"kind": "gc-storm",      "at": 70000000, "duration": 2500000, "magnitude": 5}
+//	  ]
+//	}
+//
+// "at" and "duration" are simulated cycles (250 MHz clock) and may be JSON
+// numbers or decimal strings (cycle counts routinely exceed 2^53, where
+// JSON numbers lose precision). "peer" is the netsim peer index (ECperf:
+// 1 = database, 2 = supplier; omitted or 0 = all peers).
+type scheduleJSON struct {
+	Events []eventJSON `json:"events"`
+}
+
+type eventJSON struct {
+	Kind      string      `json:"kind"`
+	At        json.Number `json:"at"`
+	Duration  json.Number `json:"duration"`
+	Peer      *uint8      `json:"peer,omitempty"`
+	Magnitude float64     `json:"magnitude,omitempty"`
+}
+
+// ParseSchedule parses and validates a JSON fault schedule. It returns an
+// error — never panics — on malformed syntax, unknown kinds, bad
+// timestamps, out-of-range magnitudes, or overlapping windows, so a typo'd
+// schedule fails a run loudly at startup instead of corrupting it quietly.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var raw scheduleJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("fault schedule: %w", err)
+	}
+	s := &Schedule{}
+	for i, ev := range raw.Events {
+		kind, ok := KindFromString(ev.Kind)
+		if !ok {
+			return nil, fmt.Errorf("fault schedule: event %d: unknown kind %q", i, ev.Kind)
+		}
+		at, err := parseCycles(ev.At)
+		if err != nil {
+			return nil, fmt.Errorf("fault schedule: event %d (%s): bad \"at\": %w", i, ev.Kind, err)
+		}
+		dur, err := parseCycles(ev.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("fault schedule: event %d (%s): bad \"duration\": %w", i, ev.Kind, err)
+		}
+		e := Event{Kind: kind, At: at, Duration: dur, Magnitude: ev.Magnitude}
+		if ev.Peer != nil {
+			e.Peer = *ev.Peer
+		}
+		s.Events = append(s.Events, e)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("fault schedule: %w", err)
+	}
+	return s, nil
+}
+
+// parseCycles reads a cycle count from a JSON number or decimal string.
+func parseCycles(n json.Number) (uint64, error) {
+	s := string(n)
+	if s == "" {
+		return 0, fmt.Errorf("missing")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a non-negative cycle count", s)
+	}
+	return v, nil
+}
+
+// LoadSchedule reads and parses a schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSchedule(data)
+}
+
+// MarshalJSON writes the schedule in the same shape ParseSchedule reads, so
+// schedules round-trip through checkpoints and manifests.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	raw := scheduleJSON{Events: []eventJSON{}}
+	for _, e := range s.Events {
+		ev := eventJSON{
+			Kind:      e.Kind.String(),
+			At:        json.Number(strconv.FormatUint(e.At, 10)),
+			Duration:  json.Number(strconv.FormatUint(e.Duration, 10)),
+			Magnitude: e.Magnitude,
+		}
+		if e.Peer != 0 {
+			p := e.Peer
+			ev.Peer = &p
+		}
+		raw.Events = append(raw.Events, ev)
+	}
+	return json.Marshal(raw)
+}
+
+// UnmarshalJSON parses the ParseSchedule shape, with validation.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	parsed, err := ParseSchedule(data)
+	if err != nil {
+		return err
+	}
+	*s = *parsed
+	return nil
+}

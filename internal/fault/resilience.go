@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/simrand"
+)
+
+// Policy parameterizes the application server's resilience behavior on
+// calls to remote tiers. All times are simulated cycles (250 MHz clock).
+type Policy struct {
+	// TimeoutCycles is the per-request timeout: how long a caller waits for
+	// a response before declaring the attempt lost.
+	TimeoutCycles uint32
+	// FastFailCycles is the cost of a refused connection (crashed peer):
+	// the kernel answers almost immediately.
+	FastFailCycles uint32
+	// MaxAttempts bounds tries per logical call (first attempt + retries).
+	MaxAttempts int
+	// BackoffBaseCycles is the delay before the first retry; each further
+	// retry doubles it, capped at BackoffCapCycles.
+	BackoffBaseCycles uint32
+	BackoffCapCycles  uint32
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of its
+	// nominal value, decorrelating retry storms across workers.
+	JitterFrac float64
+
+	// BreakerFailures consecutive failures open the per-backend circuit
+	// breaker; while open, calls fail locally without touching the network.
+	// After BreakerCooldownCycles the breaker goes half-open and admits one
+	// probe: success closes it, failure re-opens it.
+	BreakerFailures       int
+	BreakerCooldownCycles uint64
+
+	// Admission control: requests are shed at the door when the failure
+	// rate observed over the previous ShedWindowCycles exceeds
+	// ShedFailRate. The shed probability rises linearly from 0 at the
+	// threshold to 1 at a 100% failure rate, so shedding is proportional
+	// to overload rather than all-or-nothing.
+	ShedWindowCycles uint64
+	ShedFailRate     float64
+}
+
+// DefaultPolicy returns resilience defaults tuned to the simulated ECperf
+// deployment: the timeout clears a healthy database round trip (~100k
+// cycles) by a wide margin, and the breaker trips after roughly one
+// worker's worth of consecutive timeouts.
+func DefaultPolicy() Policy {
+	return Policy{
+		TimeoutCycles:         400_000,
+		FastFailCycles:        4_000,
+		MaxAttempts:           3,
+		BackoffBaseCycles:     50_000,
+		BackoffCapCycles:      800_000,
+		JitterFrac:            0.5,
+		BreakerFailures:       5,
+		BreakerCooldownCycles: 2_000_000,
+		ShedWindowCycles:      1_000_000,
+		ShedFailRate:          0.5,
+	}
+}
+
+// Validate rejects configurations that would wedge or divide by zero.
+func (p Policy) Validate() error {
+	if p.TimeoutCycles == 0 {
+		return fmt.Errorf("fault: policy timeout must be positive")
+	}
+	if p.MaxAttempts <= 0 {
+		return fmt.Errorf("fault: policy needs at least one attempt")
+	}
+	if p.BreakerFailures <= 0 {
+		return fmt.Errorf("fault: breaker threshold must be positive")
+	}
+	if p.ShedFailRate <= 0 || p.ShedFailRate >= 1 {
+		return fmt.Errorf("fault: shed failure rate %g outside (0, 1)", p.ShedFailRate)
+	}
+	if p.ShedWindowCycles == 0 {
+		return fmt.Errorf("fault: shed window must be positive")
+	}
+	return nil
+}
+
+// Backoff returns the delay before retry number n (1 = first retry):
+// capped exponential with ±JitterFrac uniform jitter drawn from rng.
+func (p Policy) Backoff(n int, rng *simrand.Rand) uint32 {
+	d := uint64(p.BackoffBaseCycles)
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= uint64(p.BackoffCapCycles) {
+			break
+		}
+	}
+	if cap := uint64(p.BackoffCapCycles); cap > 0 && d > cap {
+		d = cap
+	}
+	if p.JitterFrac > 0 && rng != nil {
+		lo := float64(d) * (1 - p.JitterFrac)
+		span := float64(d) * 2 * p.JitterFrac
+		d = uint64(lo + span*rng.Float64())
+	}
+	if d == 0 {
+		d = 1
+	}
+	if d > 1<<31 {
+		d = 1 << 31 // fits the trace item's uint32 delay field
+	}
+	return uint32(d)
+}
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: normal operation, calls flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are rejected locally until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is admitted to test the backend.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", uint8(s))
+	}
+}
+
+// BreakerStats counts breaker activity.
+type BreakerStats struct {
+	Opens   uint64 // closed/half-open -> open transitions
+	Rejects uint64 // calls refused while open
+	Probes  uint64 // half-open probe calls admitted
+}
+
+// Breaker is a per-backend circuit breaker on the simulated clock. It is
+// driven by the caller: Allow before each attempt sequence, Record after.
+type Breaker struct {
+	pol      *Policy
+	state    BreakerState
+	fails    int    // consecutive failures while closed
+	openedAt uint64 // cycle the breaker last opened
+	probing  bool   // a half-open probe is in flight
+
+	Stats BreakerStats
+}
+
+// NewBreaker returns a closed breaker governed by pol.
+func NewBreaker(pol *Policy) *Breaker { return &Breaker{pol: pol} }
+
+// State returns the breaker's position at cycle t (it resolves the
+// open -> half-open transition lazily).
+func (b *Breaker) State(t uint64) BreakerState {
+	if b.state == BreakerOpen && t >= b.openedAt+b.pol.BreakerCooldownCycles {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+	return b.state
+}
+
+// Allow reports whether a call may proceed at cycle t. In half-open state
+// only the first caller gets through (the probe); the rest are rejected
+// until the probe's Record arrives.
+func (b *Breaker) Allow(t uint64) bool {
+	switch b.State(t) {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			b.Stats.Rejects++
+			return false
+		}
+		b.probing = true
+		b.Stats.Probes++
+		return true
+	default:
+		b.Stats.Rejects++
+		return false
+	}
+}
+
+// Record reports the outcome of an admitted call that started at cycle t.
+func (b *Breaker) Record(t uint64, ok bool) {
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = t
+			b.Stats.Opens++
+		}
+	case BreakerClosed:
+		if ok {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= b.pol.BreakerFailures {
+			b.state = BreakerOpen
+			b.openedAt = t
+			b.fails = 0
+			b.Stats.Opens++
+		}
+	}
+}
+
+// Shedder is the admission controller: it watches the failure rate of
+// completed calls over fixed windows of the simulated clock and sheds
+// incoming requests in proportion to how far the previous window's rate
+// exceeded the policy threshold.
+type Shedder struct {
+	pol      *Policy
+	winStart uint64
+	ok, fail uint64
+	prevRate float64 // failure rate of the last completed window
+
+	// Shed counts requests rejected at the door.
+	Shed uint64
+}
+
+// NewShedder returns an idle admission controller.
+func NewShedder(pol *Policy) *Shedder { return &Shedder{pol: pol} }
+
+// roll advances the observation window to cover cycle t.
+func (s *Shedder) roll(t uint64) {
+	for t >= s.winStart+s.pol.ShedWindowCycles {
+		if n := s.ok + s.fail; n > 0 {
+			s.prevRate = float64(s.fail) / float64(n)
+		} else {
+			// An empty window carries the previous estimate forward at half
+			// strength: overload evidence decays instead of latching.
+			s.prevRate /= 2
+		}
+		s.ok, s.fail = 0, 0
+		s.winStart += s.pol.ShedWindowCycles
+		if s.winStart+s.pol.ShedWindowCycles < s.winStart {
+			break // clock overflow guard
+		}
+	}
+}
+
+// Observe records one completed call outcome at cycle t.
+func (s *Shedder) Observe(t uint64, ok bool) {
+	s.roll(t)
+	if ok {
+		s.ok++
+	} else {
+		s.fail++
+	}
+}
+
+// FailRate returns the failure-rate estimate governing admission at t.
+func (s *Shedder) FailRate(t uint64) float64 {
+	s.roll(t)
+	return s.prevRate
+}
+
+// Admit decides whether to accept a request arriving at cycle t, drawing
+// the shed lottery from rng when partially overloaded.
+func (s *Shedder) Admit(t uint64, rng *simrand.Rand) bool {
+	rate := s.FailRate(t)
+	th := s.pol.ShedFailRate
+	if rate <= th {
+		return true
+	}
+	p := (rate - th) / (1 - th)
+	if p < 1 && !rng.Bool(p) {
+		return true
+	}
+	s.Shed++
+	return false
+}

@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"repro/internal/fault"
 	"repro/internal/ifetch"
 	"repro/internal/mem"
 	"repro/internal/simrand"
@@ -51,6 +52,7 @@ type Network struct {
 	link      Link
 	peers     map[uint8]Responder
 	externals map[uint8]bool
+	faults    *fault.Injector
 }
 
 // NewNetwork returns a network over the given link.
@@ -77,19 +79,32 @@ func (n *Network) External(id uint8) bool { return n.externals[id] }
 // Link returns the network's link parameters.
 func (n *Network) Link() Link { return n.link }
 
+// SetFaults attaches a fault injector; latency-spike windows in its
+// schedule then stretch round-trip transfer times. nil detaches.
+func (n *Network) SetFaults(inj *fault.Injector) { n.faults = inj }
+
 // RoundTrip computes when a synchronous call issued at `now` completes:
 // request transfer, peer service (with queueing), response transfer.
 // Unknown peers answer after a bare round trip, so a miswired experiment
 // fails loudly in results rather than silently hanging.
 func (n *Network) RoundTrip(peer uint8, now uint64, reqBytes, respBytes uint32) uint64 {
-	arrive := now + n.link.TransferCycles(reqBytes)
+	reqXfer := n.link.TransferCycles(reqBytes)
+	respXfer := n.link.TransferCycles(respBytes)
+	// A latency-spike fault stretches the wire time both ways. The factor is
+	// sampled at issue time: a window opening mid-flight catches the next
+	// call, which is plenty at 50 µs one-way latency.
+	if f := n.faults.LinkFactor(peer, now); f > 1 {
+		reqXfer = uint64(float64(reqXfer) * f)
+		respXfer = uint64(float64(respXfer) * f)
+	}
+	arrive := now + reqXfer
 	var done uint64
 	if r, ok := n.peers[peer]; ok {
 		done = r.Respond(arrive, reqBytes, respBytes)
 	} else {
 		done = arrive
 	}
-	return done + n.link.TransferCycles(respBytes)
+	return done + respXfer
 }
 
 // StackConfig parameterizes the kernel network path on the measured

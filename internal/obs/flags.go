@@ -69,15 +69,15 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 				trs = append(trs, ob.Tracer)
 			}
 		}
-		w, err := os.Create(f.Trace)
+		w, err := AtomicCreate(f.Trace, 0o644)
 		if err != nil {
 			return err
 		}
-		err = WriteChromeTrace(w, trs...)
-		if cerr := w.Close(); err == nil {
-			err = cerr
+		if err := WriteChromeTrace(w, trs...); err != nil {
+			w.Abort()
+			return err
 		}
-		if err != nil {
+		if err := w.Close(); err != nil {
 			return err
 		}
 		outputs = append(outputs, f.Trace)
@@ -112,15 +112,15 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 				return err
 			}
 		} else {
-			w, err := os.Create(f.Metrics)
+			w, err := AtomicCreate(f.Metrics, 0o644)
 			if err != nil {
 				return err
 			}
-			err = write(w)
-			if cerr := w.Close(); err == nil {
-				err = cerr
+			if err := write(w); err != nil {
+				w.Abort()
+				return err
 			}
-			if err != nil {
+			if err := w.Close(); err != nil {
 				return err
 			}
 			outputs = append(outputs, f.Metrics)
@@ -128,7 +128,7 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 	}
 
 	if f.Profile != "" {
-		w, err := os.Create(f.Profile)
+		w, err := AtomicCreate(f.Profile, 0o644)
 		if err != nil {
 			return err
 		}
@@ -136,14 +136,12 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 			if ob == nil {
 				continue
 			}
-			if werr := ob.Profiler.WriteFolded(w); werr != nil && err == nil {
-				err = werr
+			if werr := ob.Profiler.WriteFolded(w); werr != nil {
+				w.Abort()
+				return werr
 			}
 		}
-		if cerr := w.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := w.Close(); err != nil {
 			return err
 		}
 		outputs = append(outputs, f.Profile)

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -24,11 +25,12 @@ type Heartbeat struct {
 	// SimCycles is the current simulated-cycle position of a single run.
 	SimCycles atomic.Uint64
 
-	w     io.Writer
-	label string
-	start time.Time
-	stop  chan struct{}
-	done  chan struct{}
+	w       io.Writer
+	label   string
+	start   time.Time
+	stop    chan struct{}
+	done    chan struct{}
+	stopped sync.Once
 }
 
 // StartHeartbeat begins printing one line every interval. Stop it with
@@ -82,14 +84,20 @@ func (h *Heartbeat) AddCycles(c uint64) {
 	}
 }
 
-// Stop halts the ticker and prints a final line.
+// Stop halts the ticker and prints a final line. It is idempotent, so it
+// can be deferred as soon as the heartbeat starts AND called on the normal
+// exit path: the abnormal-termination path (panic unwinding, early error
+// return) still flushes a final progress line, and the duplicate call on a
+// clean exit is a no-op.
 func (h *Heartbeat) Stop() {
 	if h == nil {
 		return
 	}
-	close(h.stop)
-	<-h.done
-	fmt.Fprintln(h.w, h.line())
+	h.stopped.Do(func() {
+		close(h.stop)
+		<-h.done
+		fmt.Fprintln(h.w, h.line())
+	})
 }
 
 func (h *Heartbeat) line() string {

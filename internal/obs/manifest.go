@@ -2,7 +2,6 @@ package obs
 
 import (
 	"encoding/json"
-	"os"
 	"os/exec"
 	"strings"
 	"time"
@@ -36,11 +35,11 @@ func GitDescribe() string {
 	return strings.TrimSpace(string(out))
 }
 
-// WriteManifest writes the manifest as indented JSON at path.
+// WriteManifest writes the manifest as indented JSON at path, atomically.
 func WriteManifest(path string, m Manifest) error {
 	b, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return AtomicWriteFile(path, append(b, '\n'), 0o644)
 }

@@ -33,6 +33,9 @@ const (
 	CompNet
 	// CompWorkload traces business-operation (transaction) lifecycles.
 	CompWorkload
+	// CompFault traces injected fault windows and the resilience layer's
+	// reactions (retries, circuit-breaker transitions, shed requests).
+	CompFault
 	numComponents
 )
 
@@ -49,6 +52,8 @@ func (c Component) String() string {
 		return "net"
 	case CompWorkload:
 		return "workload"
+	case CompFault:
+		return "fault"
 	default:
 		return "obs"
 	}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/ifetch"
 	"repro/internal/memsys"
 	"repro/internal/netsim"
@@ -252,6 +253,15 @@ type Engine struct {
 	// Observability (nil when disabled — the zero-overhead default).
 	tracer *obs.Tracer
 	prof   *obs.Profiler
+
+	// Fault injection (nil when disabled): gc-storm windows amplify
+	// stop-the-world pauses.
+	faults *fault.Injector
+
+	// Watchdog (0 = disabled): see watchdog.go.
+	watchdogCycles uint64
+	lastDispatch   uint64
+	wdReport       *WatchdogReport
 }
 
 // threadTrackBase offsets thread IDs away from CPU IDs on the trace
@@ -512,6 +522,9 @@ func (e *Engine) Run(horizon uint64) {
 		e.drainEvents(t)
 		th := e.pickThread(c, t)
 		if th == nil {
+			if e.watchdogCycles > 0 && e.checkWatchdog(t) {
+				return
+			}
 			// Nothing eligible now: advance to the next moment anything
 			// can change — an event, another CPU finishing its run, or a
 			// foreign ready thread becoming stealable.
@@ -535,6 +548,7 @@ func (e *Engine) Run(horizon uint64) {
 			continue
 		}
 		e.flushIdle(c, t)
+		e.lastDispatch = t
 		e.runThread(th, c, t)
 	}
 }
@@ -881,6 +895,19 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 		if gt > stwEnd {
 			stwEnd = gt
 		}
+	}
+
+	// A gc-storm fault amplifies the pause: the same collection holds the
+	// world stopped GCFactor times longer (heap pressure and fragmentation
+	// forcing extra passes). The extension is pure stall — the collectors
+	// idle through it — so non-storm runs are byte-identical.
+	if f := e.faults.GCFactor(stwStart); f > 1 && stwEnd > stwStart {
+		extended := stwStart + uint64(float64(stwEnd-stwStart)*f)
+		for _, wc := range workers {
+			e.acct[wc].GCIdle += extended - workerEnd[wc]
+			workerEnd[wc] = extended
+		}
+		stwEnd = extended
 	}
 
 	isWorker := func(i int) bool {

@@ -211,6 +211,15 @@ func (r *Recorder) SemRelease(id uint64) {
 	r.op.Items = append(r.op.Items, Item{Kind: KindSemRel, ID: id})
 }
 
+// SetBusiness overrides whether the operation counts toward throughput —
+// the resilience layer demotes an operation that exhausted its retries or
+// was shed at admission, after recording has already begun.
+func (r *Recorder) SetBusiness(b bool) { r.op.Business = b }
+
+// SetTag renames the operation mid-recording (e.g. appending ".fail" so
+// failed operations report their own latency distribution).
+func (r *Recorder) SetTag(tag string) { r.op.Tag = tag }
+
 // Len returns the number of items recorded so far.
 func (r *Recorder) Len() int { return len(r.op.Items) }
 

@@ -159,8 +159,19 @@ type Workload struct {
 
 	rng *simrand.Rand
 
-	// BBops counts completed operations by type.
+	// caller, when non-nil, is the resilient remote-call path: remote
+	// round trips go through timeouts/retries/breakers, and requests may
+	// be shed at the door (EnableResilience).
+	caller *appserver.Caller
+
+	// BBops counts completed operations by type; failed operations count
+	// under "<tag>.fail" and are excluded from throughput.
 	BBops map[string]uint64
+	// FailedOps counts operations that took their error path (a remote
+	// call exhausted its retries); ShedOps counts requests rejected by
+	// admission control before any work.
+	FailedOps uint64
+	ShedOps   uint64
 	// DBCalls counts database round trips (path-length diagnostics).
 	DBCalls uint64
 }
@@ -193,6 +204,13 @@ func New(cfg Config, heap *jvm.Heap, comps Components, ns *netsim.NetStack, rng 
 	return w
 }
 
+// EnableResilience routes every remote call through the given resilient
+// caller. Call it before creating worker sources.
+func (w *Workload) EnableResilience(c *appserver.Caller) { w.caller = c }
+
+// Caller returns the resilient call path, or nil when disabled.
+func (w *Workload) Caller() *appserver.Caller { return w.caller }
+
 // Heap returns the middle tier's heap.
 func (w *Workload) Heap() *jvm.Heap { return w.heap }
 
@@ -210,6 +228,13 @@ type workerSource struct {
 	ordZipf   *simrand.Zipf
 	corpZipf  *simrand.Zipf
 	remaining int
+
+	// Per-operation resilience state: tnow is the record-time clock (the
+	// dispatch time plus delays recorded so far, so breaker and fault
+	// windows see call times close to playback times); failed is set when
+	// any remote call in the operation exhausted its retries.
+	tnow   uint64
+	failed bool
 }
 
 // Source returns the OpSource for worker i. maxOps bounds the operation
@@ -235,6 +260,13 @@ func (s *workerSource) NextOp(tid int, now uint64) *trace.Op {
 	if s.remaining > 0 {
 		s.remaining--
 	}
+	s.tnow = now
+	s.failed = false
+	// Admission control sheds at the door: the request is answered with a
+	// cheap rejection before any business logic or remote call runs.
+	if !s.w.caller.Admit(now) {
+		return s.shedOp(now)
+	}
 	u := s.rng.Float64()
 	var op *trace.Op
 	switch {
@@ -256,6 +288,60 @@ func (s *workerSource) NextOp(tid int, now uint64) *trace.Op {
 	return op
 }
 
+// shedOp records the cheap-rejection path of a shed request: kernel
+// receive, a short error response, no business logic. Not a business op.
+func (s *workerSource) shedOp(now uint64) *trace.Op {
+	w := s.w
+	rec := trace.NewRecorder("shed", false)
+	w.ns.ReceiveRequest(rec, 512)
+	rec.Instr(w.comps.Server.ID, w.cfg.ServletInstr/6)
+	w.ns.SendResponse(rec, 256)
+	w.ShedOps++
+	w.BBops["shed"]++
+	return rec.Finish()
+}
+
+// call routes one remote round trip through the resilient caller when
+// resilience is enabled (plain network call otherwise). On failure it
+// marks the operation failed and reports false.
+func (s *workerSource) call(rec *trace.Recorder, peer uint8, reqBytes, respBytes uint32) bool {
+	w := s.w
+	if w.caller == nil {
+		w.ns.Call(rec, peer, reqBytes, respBytes)
+		return true
+	}
+	ok, delay := w.caller.Call(rec, w.ns, peer, reqBytes, respBytes, s.tnow)
+	s.tnow += delay
+	if !ok {
+		s.failed = true
+	}
+	return ok
+}
+
+// read guards an object read against the nil object a failed entity load
+// returns.
+func (s *workerSource) read(rec *trace.Recorder, obj jvm.ObjectID) {
+	if obj != jvm.NilObject {
+		s.w.heap.ReadObject(rec, obj)
+	}
+}
+
+// finish closes an operation: a failed one is demoted from the throughput
+// count and re-tagged "<tag>.fail" so its (shorter) latency reports
+// separately.
+func (s *workerSource) finish(rec *trace.Recorder, tag string) *trace.Op {
+	w := s.w
+	if s.failed {
+		rec.SetBusiness(false)
+		rec.SetTag(tag + ".fail")
+		w.FailedOps++
+		w.BBops[tag+".fail"]++
+	} else {
+		w.BBops[tag]++
+	}
+	return rec.Finish()
+}
+
 // entity resolves one entity bean: object-cache hit, or a database load
 // through the connection pool. The hit path is dramatically shorter —
 // §4.4's constructive interference.
@@ -269,9 +355,14 @@ func (s *workerSource) entity(rec *trace.Recorder, tid int, dom uint64, key int,
 	}
 	s.metaWalk(rec, 16) // ORM mapping metadata for the load path
 	conn := w.pool.Acquire(rec)
-	w.ns.Call(rec, PeerDatabase, w.cfg.QueryReqBytes, w.cfg.QueryRespBytes)
+	ok := s.call(rec, PeerDatabase, w.cfg.QueryReqBytes, w.cfg.QueryRespBytes)
 	w.pool.Release(rec, conn)
 	w.DBCalls++
+	if !ok {
+		// Load failed: nothing to hydrate or cache; the operation takes
+		// its error path with a nil entity.
+		return jvm.NilObject
+	}
 	obj := w.heap.Alloc(rec, tid, w.cfg.BeanBytes, 0)
 	rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr) // ORM hydration
 	w.cache.Put(rec, k, obj, now)
@@ -282,10 +373,12 @@ func (s *workerSource) entity(rec *trace.Recorder, tid int, dom uint64, key int,
 func (s *workerSource) commit(rec *trace.Recorder, tid int) {
 	w := s.w
 	conn := w.pool.Acquire(rec)
-	w.ns.Call(rec, PeerDatabase, w.cfg.UpdateReqBytes, w.cfg.UpdateRespBytes)
+	ok := s.call(rec, PeerDatabase, w.cfg.UpdateReqBytes, w.cfg.UpdateRespBytes)
 	w.pool.Release(rec, conn)
 	w.DBCalls++
-	rec.Instr(w.comps.Server.ID, w.cfg.CommitInstr)
+	if ok {
+		rec.Instr(w.comps.Server.ID, w.cfg.CommitInstr)
+	}
 }
 
 // metaWalk records n reads over the server's runtime metadata with a
@@ -342,23 +435,24 @@ func (s *workerSource) newOrder(tid int, now uint64) *trace.Op {
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 
 	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
-	h.ReadObject(rec, cust)
+	s.read(rec, cust)
 	nitems := 2 + s.rng.Intn(4)
 	for i := 0; i < nitems; i++ {
 		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
-		h.ReadObject(rec, item)
+		s.read(rec, item)
 		rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr/4)
 	}
-	// The new order bean: written through to the database; the local copy
-	// enters the cache.
-	order := h.Alloc(rec, tid, w.cfg.BeanBytes, 0)
-	h.WriteField(rec, order, 1)
-	w.cache.Put(rec, domOrder<<32|uint64(s.ordZipf.Next()), order, now)
-	s.commit(rec, tid)
+	if !s.failed {
+		// The new order bean: written through to the database; the local
+		// copy enters the cache.
+		order := h.Alloc(rec, tid, w.cfg.BeanBytes, 0)
+		h.WriteField(rec, order, 1)
+		w.cache.Put(rec, domOrder<<32|uint64(s.ordZipf.Next()), order, now)
+		s.commit(rec, tid)
+	}
 
 	s.end(rec)
-	w.BBops["neworder"]++
-	return rec.Finish()
+	return s.finish(rec, "neworder")
 }
 
 func (s *workerSource) changeOrder(tid int, now uint64) *trace.Op {
@@ -367,45 +461,46 @@ func (s *workerSource) changeOrder(tid int, now uint64) *trace.Op {
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
-	h.ReadObject(rec, order)
-	h.WriteField(rec, order, 2)
+	s.read(rec, order)
+	if order != jvm.NilObject {
+		h.WriteField(rec, order, 2)
+	}
 	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
-	h.ReadObject(rec, cust)
-	s.commit(rec, tid)
+	s.read(rec, cust)
+	if !s.failed {
+		s.commit(rec, tid)
+	}
 	s.end(rec)
-	w.BBops["changeorder"]++
-	return rec.Finish()
+	return s.finish(rec, "changeorder")
 }
 
 func (s *workerSource) orderStatus(tid int, now uint64) *trace.Op {
-	w, h := s.w, s.w.heap
+	w := s.w
 	rec := trace.NewRecorder("orderstatus", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
 	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
-	h.ReadObject(rec, order)
+	s.read(rec, order)
 	corp := s.entity(rec, tid, domCorporate, s.corpZipf.Next(), now)
-	h.ReadObject(rec, corp)
+	s.read(rec, corp)
 	s.end(rec)
-	w.BBops["orderstatus"]++
-	return rec.Finish()
+	return s.finish(rec, "orderstatus")
 }
 
 func (s *workerSource) customerStatus(tid int, now uint64) *trace.Op {
-	w, h := s.w, s.w.heap
+	w := s.w
 	rec := trace.NewRecorder("custstatus", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
 	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
-	h.ReadObject(rec, cust)
+	s.read(rec, cust)
 	norders := 1 + s.rng.Intn(3)
 	for i := 0; i < norders; i++ {
 		order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
-		h.ReadObject(rec, order)
+		s.read(rec, order)
 	}
 	s.end(rec)
-	w.BBops["custstatus"]++
-	return rec.Finish()
+	return s.finish(rec, "custstatus")
 }
 
 // workOrder runs one step of the Just-In-Time manufacturing cycle: create
@@ -422,9 +517,17 @@ func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
 	// Bill of materials.
 	for i := 0; i < 3; i++ {
 		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
-		h.ReadObject(rec, item)
+		s.read(rec, item)
 	}
 	s.commit(rec, tid)
+
+	if s.failed {
+		// The work order never entered the schedule: roll it back rather
+		// than leaving a phantom in the in-flight ring.
+		h.RemoveRoot(wo)
+		s.end(rec)
+		return s.finish(rec, "workorder")
+	}
 
 	// Ring of open work orders: completing the oldest when full keeps the
 	// in-flight population at inflightMax — the Figure 11 plateau.
@@ -440,8 +543,7 @@ func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
 	}
 
 	s.end(rec)
-	w.BBops["workorder"]++
-	return rec.Finish()
+	return s.finish(rec, "workorder")
 }
 
 // purchase sends a purchase order to the supplier emulator as an XML
@@ -454,19 +556,19 @@ func (s *workerSource) purchase(tid int, now uint64) *trace.Op {
 
 	for i := 0; i < 2; i++ {
 		item := s.entity(rec, tid, domItem, s.itemZipf.Next(), now)
-		h.ReadObject(rec, item)
+		s.read(rec, item)
 	}
 	// Format the XML document (allocation-heavy), send it, parse the reply.
 	doc := h.Alloc(rec, tid, w.cfg.XMLBytes, 0)
 	h.ReadObject(rec, doc)
 	rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr)
-	w.ns.Call(rec, PeerSupplier, w.cfg.XMLBytes, w.cfg.XMLBytes/2)
-	reply := h.Alloc(rec, tid, w.cfg.XMLBytes/2, 0)
-	h.ReadObject(rec, reply)
-	rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr/2)
-	s.commit(rec, tid)
+	if s.call(rec, PeerSupplier, w.cfg.XMLBytes, w.cfg.XMLBytes/2) {
+		reply := h.Alloc(rec, tid, w.cfg.XMLBytes/2, 0)
+		h.ReadObject(rec, reply)
+		rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr/2)
+		s.commit(rec, tid)
+	}
 
 	s.end(rec)
-	w.BBops["purchase"]++
-	return rec.Finish()
+	return s.finish(rec, "purchase")
 }
