@@ -32,7 +32,15 @@ func main() {
 	fixed := flag.Int("fixed", 256<<10, "cache size in bytes for assoc/block modes")
 	var ofl obs.Flags
 	ofl.Register(flag.CommandLine)
+	var hp obs.HostProfile
+	hp.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := hp.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hp.Stop()
 
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "cachesweep", ofl.Heartbeat)

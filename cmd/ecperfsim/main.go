@@ -49,7 +49,15 @@ func main() {
 	resume := flag.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)")
 	var ofl obs.Flags
 	ofl.Register(flag.CommandLine)
+	var hp obs.HostProfile
+	hp.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := hp.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hp.Stop()
 
 	var ob *obs.Observer
 	if ofl.Enabled() {

@@ -37,7 +37,15 @@ func main() {
 	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots")
 	var ofl obs.Flags
 	ofl.Register(flag.CommandLine)
+	var hp obs.HostProfile
+	hp.Register(flag.CommandLine)
 	flag.Parse()
+
+	if err := hp.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hp.Stop()
 
 	opts := core.DefaultOpts()
 	sweepOpts := core.DefaultSweepOpts()

@@ -1,0 +1,179 @@
+// Command perfcheck is the host-performance regression harness: it runs a
+// pinned set of benchmarks, writes the results as BENCH_<n>.json, and
+// compares ns/op against a committed baseline with a tolerance gate, so a
+// change that quietly slows the simulator down fails CI instead of landing.
+//
+// Usage:
+//
+//	go run ./cmd/perfcheck                  # run, write BENCH_1.json, gate vs baseline
+//	go run ./cmd/perfcheck -update          # refresh BENCH_baseline.json (new machine or accepted change)
+//	go run ./cmd/perfcheck -count 5 -tol 0.5
+//
+// The pinned set mixes macro benchmarks (full figure pipelines, dominated by
+// the simulator's end-to-end hot path) with bus-level micro benchmarks that
+// isolate the snooping machinery. Results are min-of-count: the minimum is
+// the least noisy estimator on a shared machine. allocs/op is recorded for
+// diagnosis but only ns/op gates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pinnedBench is the default benchmark selection, chosen to cover the
+// simulator's perf-critical layers: the figure pipelines (engine + memory
+// system + generators), the local-hit fast path, and the snoop-heavy bus
+// patterns the duplicate-tag filter exists for.
+const pinnedBench = "^(BenchmarkFig08C2CRatio|BenchmarkFig13DCacheMissRate|BenchmarkFig16SharedCaches|" +
+	"BenchmarkReadLocalHit|BenchmarkMigratoryWrite16Nodes|BenchmarkReadSharedGetS16Nodes)$"
+
+// Result is one benchmark's summary, min across runs.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp *uint64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	Note       string            `json:"note,omitempty"`
+	Count      int               `json:"count"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\S+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
+
+func main() {
+	bench := flag.String("bench", pinnedBench, "benchmark regex passed to go test -bench")
+	pkgs := flag.String("pkgs", ".,./internal/coherence", "comma-separated packages to benchmark")
+	count := flag.Int("count", 3, "runs per benchmark; the minimum is kept")
+	tol := flag.Float64("tol", 0.30, "allowed fractional ns/op regression vs baseline")
+	out := flag.String("out", "BENCH_1.json", "result file to write")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline file to gate against")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	note := flag.String("note", "", "free-form note recorded in the result file")
+	flag.Parse()
+
+	rep := Report{Note: *note, Count: *count, Benchmarks: map[string]Result{}}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		if err := runPkg(pkg, *bench, *count, rep.Benchmarks); err != nil {
+			fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "perfcheck: no benchmarks matched")
+		os.Exit(1)
+	}
+
+	writeJSON(*out, rep)
+	fmt.Printf("wrote %s (%d benchmarks, min of %d runs)\n", *out, len(rep.Benchmarks), *count)
+
+	if *update {
+		writeJSON(*baselinePath, rep)
+		fmt.Printf("baseline %s updated\n", *baselinePath)
+		return
+	}
+
+	base, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: no baseline (%v); run with -update to create one\n", err)
+		os.Exit(1)
+	}
+	var baseRep Report
+	if err := json.Unmarshal(base, &baseRep); err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: bad baseline: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, b := range sortedKeys(baseRep.Benchmarks) {
+		cur, ok := rep.Benchmarks[b]
+		if !ok {
+			fmt.Printf("FAIL %-40s in baseline but not in this run\n", b)
+			failed = true
+			continue
+		}
+		bl := baseRep.Benchmarks[b]
+		ratio := cur.NsPerOp / bl.NsPerOp
+		status := "ok  "
+		if ratio > 1+*tol {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %12.1f ns/op  baseline %12.1f  (%+.1f%%)\n",
+			status, b, cur.NsPerOp, bl.NsPerOp, (ratio-1)*100)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "perfcheck: ns/op regression beyond %.0f%% tolerance\n", *tol*100)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func runPkg(pkg, bench string, count int, into map[string]Result) error {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-count", strconv.Itoa(count), "-benchmem", pkg}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		key := pkg + ":" + m[1]
+		r, seen := into[key]
+		if !seen || ns < r.NsPerOp {
+			r.NsPerOp = ns
+		}
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			if a, err := strconv.ParseUint(am[1], 10, 64); err == nil {
+				if r.AllocsPerOp == nil || a < *r.AllocsPerOp {
+					r.AllocsPerOp = &a
+				}
+			}
+		}
+		into[key] = r
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		os.Exit(1)
+	}
+}

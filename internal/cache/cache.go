@@ -61,7 +61,10 @@ func (c Config) String() string {
 
 // Line is one cache line's bookkeeping.
 type Line struct {
-	Tag     uint64 // block address (already shifted)
+	Tag uint64 // block address (already shifted)
+	// State may be rewritten by callers (the coherence protocol does), but
+	// only between valid states: invalidation must go through Invalidate so
+	// the cache's internal tag mirror stays exact.
 	State   State
 	Dirty   bool
 	lastUse uint64
@@ -91,10 +94,33 @@ func (s *Stats) MissRatio() float64 {
 	return float64(s.Misses()) / float64(a)
 }
 
+// counters returns the access and miss counters for t, so batch drivers can
+// resolve the access-type dispatch once per stream instead of once per
+// reference. Unknown access types return nils (counted nowhere), matching
+// Access's historical ignore-unknown behavior.
+func (s *Stats) counters(t mem.AccessType) (acc, miss *uint64) {
+	switch t {
+	case mem.Read:
+		return &s.Reads, &s.ReadMisses
+	case mem.Write:
+		return &s.Writes, &s.WriteMisses
+	case mem.IFetch:
+		return &s.Fetches, &s.FetchMisses
+	}
+	return nil, nil
+}
+
 // Cache is a set-associative cache with true-LRU replacement.
 type Cache struct {
-	cfg        Config
-	sets       []Line // flat: sets[set*assoc : (set+1)*assoc]
+	cfg  Config
+	sets []Line // flat: sets[set*assoc : (set+1)*assoc]
+	// tags mirrors sets for the probe scan: tags[i] is sets[i].Tag|1 while
+	// the way is valid, 0 while invalid. A probe touches 8 bytes per way
+	// instead of a full Line, so even a 4-way set's tags share one machine
+	// cache line. Validity only ever changes inside this package (Allocate
+	// and Invalidate), which is what keeps the mirror exact: callers adjust
+	// Line.State freely but only between valid states.
+	tags       []uint64
 	assoc      int
 	setMask    uint64
 	blockShift uint
@@ -112,6 +138,7 @@ func New(cfg Config) *Cache {
 	return &Cache{
 		cfg:        cfg,
 		sets:       make([]Line, sets*cfg.Assoc),
+		tags:       make([]uint64, sets*cfg.Assoc),
 		assoc:      cfg.Assoc,
 		setMask:    uint64(sets - 1),
 		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
@@ -125,18 +152,16 @@ func (c *Cache) Config() Config { return c.cfg }
 // block size.
 func (c *Cache) BlockAddr(a mem.Addr) uint64 { return a >> c.blockShift << c.blockShift }
 
-// setFor returns the slice of ways for the set holding block ba.
-func (c *Cache) setFor(ba uint64) []Line {
-	set := (ba >> c.blockShift) & c.setMask
-	return c.sets[set*uint64(c.assoc) : (set+1)*uint64(c.assoc)]
-}
-
 // Probe returns the line holding block ba, or nil. It does not update LRU.
+// ba must be block-aligned (a BlockAddr result), which leaves bit 0 free for
+// the tag array's valid marker.
 func (c *Cache) Probe(ba uint64) *Line {
-	ways := c.setFor(ba)
-	for i := range ways {
-		if ways[i].State != StateInvalid && ways[i].Tag == ba {
-			return &ways[i]
+	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
+	tags := c.tags[base : base+uint64(c.assoc)]
+	want := ba | 1
+	for i := range tags {
+		if tags[i] == want {
+			return &c.sets[base+uint64(i)]
 		}
 	}
 	return nil
@@ -156,13 +181,16 @@ type Victim struct {
 }
 
 // Allocate inserts block ba with the given state, evicting the LRU way if
-// the set is full. It returns the victim, if any. The new line is marked
-// most recently used and clean; callers set Dirty as needed.
-func (c *Cache) Allocate(ba uint64, st State) (Victim, bool) {
+// the set is full. It returns the inserted line and the victim, if any, so
+// callers that need to mark the fresh line (Dirty, a state tweak) can do so
+// without paying a second associative Probe. The new line is marked most
+// recently used and clean.
+func (c *Cache) Allocate(ba uint64, st State) (*Line, Victim, bool) {
 	if st == StateInvalid {
 		panic("cache: Allocate with StateInvalid")
 	}
-	ways := c.setFor(ba)
+	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
+	ways := c.sets[base : base+uint64(c.assoc)]
 	victimIdx := 0
 	var victim Victim
 	hadVictim := false
@@ -188,15 +216,31 @@ func (c *Cache) Allocate(ba uint64, st State) (Victim, bool) {
 	}
 	c.clock++
 	ways[victimIdx] = Line{Tag: ba, State: st, lastUse: c.clock}
-	return victim, hadVictim
+	c.tags[base+uint64(victimIdx)] = ba | 1
+	return &ways[victimIdx], victim, hadVictim
+}
+
+// VisitLines calls fn for every valid line, in set/way order. Bus-side
+// indexes (the coherence snoop filter) use it to rebuild from contents.
+func (c *Cache) VisitLines(fn func(l *Line)) {
+	for i := range c.sets {
+		if c.sets[i].State != StateInvalid {
+			fn(&c.sets[i])
+		}
+	}
 }
 
 // Invalidate removes block ba if present, returning whether it was dirty.
 func (c *Cache) Invalidate(ba uint64) (wasDirty, wasPresent bool) {
-	if l := c.Probe(ba); l != nil {
-		wasDirty = l.Dirty
-		*l = Line{}
-		return wasDirty, true
+	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
+	want := ba | 1
+	for i := base; i < base+uint64(c.assoc); i++ {
+		if c.tags[i] == want {
+			wasDirty = c.sets[i].Dirty
+			c.sets[i] = Line{}
+			c.tags[i] = 0
+			return wasDirty, true
+		}
 	}
 	return false, false
 }
@@ -209,33 +253,30 @@ const simpleValid State = 1
 // entry point for the sweep simulator; coherent hierarchies use
 // Probe/Allocate/Invalidate instead.
 func (c *Cache) Access(a mem.Addr, t mem.AccessType) bool {
-	ba := c.BlockAddr(a)
-	switch t {
-	case mem.Read:
-		c.Stats.Reads++
-	case mem.Write:
-		c.Stats.Writes++
-	case mem.IFetch:
-		c.Stats.Fetches++
+	acc, miss := c.Stats.counters(t)
+	return c.access(c.BlockAddr(a), t == mem.Write, acc, miss)
+}
+
+// access is Access with the block address precomputed and the stat counters
+// already resolved, so range and sweep drivers pay the access-type dispatch
+// once per reference stream rather than once per block.
+func (c *Cache) access(ba uint64, write bool, acc, miss *uint64) bool {
+	if acc != nil {
+		*acc++
 	}
 	if l := c.Probe(ba); l != nil {
 		c.Touch(l)
-		if t == mem.Write {
+		if write {
 			l.Dirty = true
 		}
 		return true
 	}
-	switch t {
-	case mem.Read:
-		c.Stats.ReadMisses++
-	case mem.Write:
-		c.Stats.WriteMisses++
-	case mem.IFetch:
-		c.Stats.FetchMisses++
+	if miss != nil {
+		*miss++
 	}
-	_, _ = c.Allocate(ba, simpleValid)
-	if t == mem.Write {
-		c.Probe(ba).Dirty = true
+	l, _, _ := c.Allocate(ba, simpleValid)
+	if write {
+		l.Dirty = true
 	}
 	return false
 }
@@ -246,10 +287,13 @@ func (c *Cache) AccessRange(a mem.Addr, size uint64, t mem.AccessType) int {
 	if size == 0 {
 		return 0
 	}
+	acc, miss := c.Stats.counters(t)
+	write := t == mem.Write
 	misses := 0
 	bs := uint64(c.cfg.BlockBytes)
-	for ba := c.BlockAddr(a); ba <= c.BlockAddr(a+size-1); ba += bs {
-		if !c.Access(ba, t) {
+	last := c.BlockAddr(a + size - 1)
+	for ba := c.BlockAddr(a); ba <= last; ba += bs {
+		if !c.access(ba, write, acc, miss) {
 			misses++
 		}
 	}

@@ -223,9 +223,9 @@ func TestQuickProbeAfterAllocate(t *testing.T) {
 	c := New(Config{Name: "q", SizeBytes: 1 << 14, Assoc: 4, BlockBytes: 64})
 	f := func(raw uint32) bool {
 		ba := c.BlockAddr(mem.Addr(raw))
-		c.Allocate(ba, 2)
+		nl, _, _ := c.Allocate(ba, 2)
 		l := c.Probe(ba)
-		return l != nil && l.Tag == ba && l.State == 2
+		return l != nil && l == nl && l.Tag == ba && l.State == 2
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -235,11 +235,14 @@ func TestQuickProbeAfterAllocate(t *testing.T) {
 func TestVictimReported(t *testing.T) {
 	c := New(Config{Name: "v", SizeBytes: 128, Assoc: 1, BlockBytes: 64}) // 2 sets
 	c.Allocate(0, 2)
-	v, had := c.Allocate(128, 3) // same set (2 sets * 64 = 128 stride)
+	l, v, had := c.Allocate(128, 3) // same set (2 sets * 64 = 128 stride)
 	if !had || v.Tag != 0 || v.State != 2 {
 		t.Fatalf("victim = %+v had=%v", v, had)
 	}
-	_, had = c.Allocate(64, 2) // other set, empty
+	if l == nil || l.Tag != 128 || l.State != 3 {
+		t.Fatalf("inserted line = %+v", l)
+	}
+	_, _, had = c.Allocate(64, 2) // other set, empty
 	if had {
 		t.Fatal("unexpected victim from empty set")
 	}

@@ -7,16 +7,39 @@ import "repro/internal/mem"
 // miss rate versus cache size for a fixed associativity and block size.
 type Sweep struct {
 	caches []*Cache
+	// groups batch the caches by block size so AccessRange splits a byte
+	// range into blocks once per distinct block size, not once per cache —
+	// the size sweeps run 9 geometries that all share one block size.
+	groups []sweepGroup
 	// Instructions counts retired instructions reported by the driver, the
 	// denominator for misses-per-1000-instructions.
 	Instructions uint64
+}
+
+type sweepGroup struct {
+	blockBytes uint64
+	caches     []*Cache
 }
 
 // NewSweep builds a sweep over the given geometries.
 func NewSweep(cfgs []Config) *Sweep {
 	s := &Sweep{}
 	for _, cfg := range cfgs {
-		s.caches = append(s.caches, New(cfg))
+		c := New(cfg)
+		s.caches = append(s.caches, c)
+		bs := uint64(cfg.BlockBytes)
+		gi := -1
+		for i := range s.groups {
+			if s.groups[i].blockBytes == bs {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			s.groups = append(s.groups, sweepGroup{blockBytes: bs})
+			gi = len(s.groups) - 1
+		}
+		s.groups[gi].caches = append(s.groups[gi].caches, c)
 	}
 	return s
 }
@@ -62,11 +85,25 @@ func (s *Sweep) Access(a mem.Addr, t mem.AccessType) {
 	}
 }
 
-// AccessRange feeds a byte-range reference to every cache in the sweep; each
-// cache splits the range by its own block size.
+// AccessRange feeds a byte-range reference to every cache in the sweep; the
+// range is split into blocks once per distinct block size and every cache of
+// that block size replays the same block stream.
 func (s *Sweep) AccessRange(a mem.Addr, size uint64, t mem.AccessType) {
-	for _, c := range s.caches {
-		c.AccessRange(a, size, t)
+	if size == 0 {
+		return
+	}
+	write := t == mem.Write
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		bs := g.blockBytes
+		first := a &^ (bs - 1)
+		last := (a + size - 1) &^ (bs - 1)
+		for _, c := range g.caches {
+			acc, miss := c.Stats.counters(t)
+			for ba := first; ba <= last; ba += bs {
+				c.access(ba, write, acc, miss)
+			}
+		}
 	}
 }
 

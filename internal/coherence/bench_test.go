@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/mem"
 )
 
 func benchBus(nodes int) (*Bus, []*Node) {
@@ -31,5 +32,20 @@ func BenchmarkMigratoryWrite16Nodes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nodes[i%16].Write(0x40, uint64(i))
+	}
+}
+
+// BenchmarkReadSharedGetS16Nodes is the read-sharing snoop stress: 16 nodes
+// walk a working set twice each L2's capacity, so every read is a GetS onto
+// a block up to 15 other caches hold Shared — the dense-sharer case where
+// the duplicate-tag filter's owner tracking pays (a brute-force bus probes
+// every sharer; the filter probes none, since Shared copies don't react).
+func BenchmarkReadSharedGetS16Nodes(b *testing.B) {
+	_, nodes := benchBus(16)
+	const blocks = 1 << 15 // 2 MB of 64 B blocks vs 1 MB L2s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ba := uint64(i/16%blocks) * 64
+		nodes[i%16].Read(mem.Addr(ba), uint64(i))
 	}
 }

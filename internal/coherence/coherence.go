@@ -9,10 +9,19 @@
 // Modified or Owned, the event the paper reads from cpustat — and can keep a
 // per-line profile of communication for Figures 14 and 15 plus a time series
 // of transfers for Figure 10.
+//
+// Snoops are resolved through a bus-side duplicate-tag filter — the model of
+// the E6000's duplicate tag arrays, which answer snoops without touching the
+// processors' caches — implemented as a block-address → (sharer bitmask,
+// owner) index so an invalidation visits only the nodes that actually hold
+// the block and a read miss probes at most the one M/O/E holder, instead of
+// scanning all P nodes (see filter.go; COHERENCE_BRUTE_SNOOP=1 restores the
+// O(P) scan, and the two are statistic-for-statistic equivalent).
 package coherence
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -169,10 +178,19 @@ type Bus struct {
 	// transaction and panics on the first violation (see sanitize.go). Off
 	// by default; COHERENCE_SANITIZE=1 enables it process-wide for CI.
 	Sanitize bool
+
+	// filter is the duplicate-tag snoop filter: block address → packed
+	// (sharer bitmask, owner) pair (see filter.go). nil means brute-force
+	// snooping: COHERENCE_BRUTE_SNOOP=1, DisableSnoopFilter, more nodes than
+	// the mask holds, or fewer than two nodes (nothing to snoop).
+	filter   *filterTable
+	noFilter bool
 }
 
 // NewBus returns an empty bus; attach caches with AddNode.
-func NewBus() *Bus { return &Bus{Sanitize: sanitizeEnv} }
+func NewBus() *Bus {
+	return &Bus{Sanitize: sanitizeEnv, noFilter: bruteSnoopEnv}
+}
 
 // AddNode attaches an L2 cache to the bus and returns its node handle.
 // onInvalidate, if non-nil, is called whenever the protocol removes or
@@ -181,6 +199,20 @@ func NewBus() *Bus { return &Bus{Sanitize: sanitizeEnv} }
 func (b *Bus) AddNode(l2 *cache.Cache, onInvalidate func(ba uint64)) *Node {
 	n := &Node{id: len(b.nodes), l2: l2, bus: b, onInvalidate: onInvalidate}
 	b.nodes = append(b.nodes, n)
+	if len(b.nodes) > maxFilterNodes {
+		// The sharer bitmask is 32 bits; wider buses snoop by brute force.
+		b.filter = nil
+	} else if b.filter == nil {
+		// The filter is built lazily on the second attach: one node has no
+		// one to snoop, so single-node buses never pay for it.
+		if len(b.nodes) == 2 && !b.noFilter {
+			b.RebuildSnoopFilter()
+		}
+	} else {
+		// Later attaches fold the new cache (normally empty) into the
+		// existing index.
+		b.filterScan(n)
+	}
 	return n
 }
 
@@ -274,33 +306,37 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 	n.bus.Stats.GetS++
 	src := SrcMemory
 	anyCopy := false
-	for _, other := range n.bus.nodes {
-		if other == n {
-			continue
-		}
-		l := other.l2.Probe(ba)
-		if l == nil {
-			continue
-		}
-		anyCopy = true
-		switch l.State {
-		case Modified:
-			src = SrcCache
-			if n.bus.Protocol == MOSI {
-				// Owner supplies data and retains a dirty shared copy.
-				l.State = Owned
-			} else {
-				// MSI/MESI: supply, write back, both Shared and clean.
-				l.State = Shared
-				l.Dirty = false
-				n.bus.Stats.Writebacks++
+	if n.bus.filter != nil {
+		// Only the M/O/E holder reacts to a GetS; Shared copies are left
+		// untouched, so the filter answers for them without a probe.
+		if p := n.bus.filter.lookup(ba); p != nil {
+			v := *p
+			anyCopy = v&fMaskBits&^(1<<uint(n.id)) != 0
+			if o := fOwner(v); o >= 0 {
+				if l := n.bus.nodes[o].l2.Probe(ba); l != nil {
+					if n.bus.snoopGetS(l) {
+						src = SrcCache
+					}
+					if l.State == Shared {
+						// The holder was downgraded all the way to Shared
+						// (M under MSI/MESI, or E): the block has no owner
+						// now.
+						*p = fClearOwner(v)
+					}
+				}
 			}
-		case Owned:
-			src = SrcCache
-		case Exclusive:
-			// Clean sole copy downgrades; memory still supplies the data
-			// on this bus (no clean cache-to-cache on the E6000).
-			l.State = Shared
+		}
+	} else {
+		for _, other := range n.bus.nodes {
+			if other == n {
+				continue
+			}
+			if l := other.l2.Probe(ba); l != nil {
+				anyCopy = true
+				if n.bus.snoopGetS(l) {
+					src = SrcCache
+				}
+			}
 		}
 	}
 	if src == SrcCache {
@@ -322,6 +358,31 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 		n.bus.sanitize(ba)
 	}
 	return src
+}
+
+// snoopGetS applies a GetS snoop to one remote copy of the block, returning
+// whether that cache supplies the data (a snoop copyback).
+func (b *Bus) snoopGetS(l *cache.Line) bool {
+	switch l.State {
+	case Modified:
+		if b.Protocol == MOSI {
+			// Owner supplies data and retains a dirty shared copy.
+			l.State = Owned
+		} else {
+			// MSI/MESI: supply, write back, both Shared and clean.
+			l.State = Shared
+			l.Dirty = false
+			b.Stats.Writebacks++
+		}
+		return true
+	case Owned:
+		return true
+	case Exclusive:
+		// Clean sole copy downgrades; memory still supplies the data on
+		// this bus (no clean cache-to-cache on the E6000).
+		l.State = Shared
+	}
+	return false
 }
 
 // Write performs a coherent store of the block containing addr at simulated
@@ -368,17 +429,41 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	// Bus GetM (read-for-ownership).
 	n.bus.Stats.GetM++
 	src := SrcMemory
-	for _, other := range n.bus.nodes {
-		if other == n {
-			continue
-		}
-		if l := other.l2.Probe(ba); l != nil {
-			if l.State == Modified || l.State == Owned {
-				src = SrcCache
+	if n.bus.filter != nil {
+		if p := n.bus.filter.lookup(ba); p != nil {
+			// Invalidate exactly the recorded sharers, in ascending node
+			// order (the brute-force scan's order). A dirty victim means the
+			// holder was Modified or Owned — the dirty bit and those states
+			// coincide by protocol invariant — so it supplied the data.
+			for m := *p & fMaskBits &^ (1 << uint(n.id)); m != 0; m &= m - 1 {
+				other := n.bus.nodes[bits.TrailingZeros64(m)]
+				if wasDirty, present := other.l2.Invalidate(ba); present {
+					if wasDirty {
+						src = SrcCache
+					}
+					other.notifyInvalidate(ba)
+					n.bus.Stats.Invalidations++
+				}
 			}
-			other.l2.Invalidate(ba)
-			other.notifyInvalidate(ba)
-			n.bus.Stats.Invalidations++
+			// All remote copies are gone and this node is about to fill the
+			// block Modified; write the entry's final value in place (the
+			// insert below re-derives the same value) rather than deleting
+			// and re-inserting it.
+			*p = fSetOwner(1<<uint(n.id), n.id)
+		}
+	} else {
+		for _, other := range n.bus.nodes {
+			if other == n {
+				continue
+			}
+			if l := other.l2.Probe(ba); l != nil {
+				if l.State == Modified || l.State == Owned {
+					src = SrcCache
+				}
+				other.l2.Invalidate(ba)
+				other.notifyInvalidate(ba)
+				n.bus.Stats.Invalidations++
+			}
 		}
 	}
 	if src == SrcCache {
@@ -391,18 +476,31 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 		n.bus.Tracer.Instant(obs.CompMem, "bus.getm", n.id, now,
 			obs.Arg{Key: "src", Val: src.String()}, obs.Arg{Key: "addr", Val: ba})
 	}
-	n.insert(ba, Modified)
-	if l := n.l2.Probe(ba); l != nil {
-		l.Dirty = true
-	}
+	n.insert(ba, Modified).Dirty = true
 	if n.bus.Sanitize {
 		n.bus.sanitize(ba)
 	}
 	return src
 }
 
-// invalidateRemotes removes every other node's copy of ba (upgrade path).
+// invalidateRemotes removes every other node's copy of ba. It is the
+// upgrade path's snoop: the caller promotes its own copy to Modified right
+// after, so the filter entry is collapsed to "this node alone, as owner" in
+// the same step.
 func (n *Node) invalidateRemotes(ba uint64) {
+	if n.bus.filter != nil {
+		if p := n.bus.filter.lookup(ba); p != nil {
+			for m := *p & fMaskBits &^ (1 << uint(n.id)); m != 0; m &= m - 1 {
+				other := n.bus.nodes[bits.TrailingZeros64(m)]
+				if _, present := other.l2.Invalidate(ba); present {
+					other.notifyInvalidate(ba)
+					n.bus.Stats.Invalidations++
+				}
+			}
+			*p = fSetOwner(1<<uint(n.id), n.id)
+		}
+		return
+	}
 	for _, other := range n.bus.nodes {
 		if other == n {
 			continue
@@ -414,17 +512,24 @@ func (n *Node) invalidateRemotes(ba uint64) {
 	}
 }
 
-// insert allocates ba in this node's L2, writing back a dirty victim and
-// notifying the node's L1s of the eviction.
-func (n *Node) insert(ba uint64, st cache.State) {
-	victim, had := n.l2.Allocate(ba, st)
+// insert allocates ba in this node's L2, returning the fresh line, writing
+// back a dirty victim, and notifying the node's L1s of the eviction.
+func (n *Node) insert(ba uint64, st cache.State) *cache.Line {
+	l, victim, had := n.l2.Allocate(ba, st)
+	if n.bus.filter != nil {
+		n.bus.filterAdd(n.id, ba, st != Shared)
+		if had {
+			n.bus.filterEvict(n.id, victim.Tag)
+		}
+	}
 	if !had {
-		return
+		return l
 	}
 	if victim.State == Modified || victim.State == Owned {
 		n.bus.Stats.Writebacks++
 	}
 	n.notifyInvalidate(victim.Tag)
+	return l
 }
 
 // HasBlock reports the node's state for the block containing addr

@@ -37,10 +37,16 @@ func (b *Bus) sanitize(ba uint64) {
 	}
 	var copies []copyInfo
 	exclusive, owned := 0, 0
+	var probed uint64
+	probedOwner := -1
 	for _, node := range b.nodes {
 		l := node.l2.Probe(ba)
 		if l == nil {
 			continue
+		}
+		probed |= 1 << uint(node.id)
+		if l.State == Modified || l.State == Owned || l.State == Exclusive {
+			probedOwner = node.id
 		}
 		copies = append(copies, copyInfo{node.id, l.State, l.Dirty})
 		switch l.State {
@@ -82,6 +88,10 @@ func (b *Bus) sanitize(ba uint64) {
 	if owned > 1 {
 		b.sanitizeFail(ba, copies, "more than one Owned copy")
 	}
+	// Cross-check the duplicate-tag snoop filter against the brute-force
+	// probe sweep just performed: every transaction under the sanitizer
+	// verifies the two snoop mechanisms agree.
+	b.checkFilter(ba, probed, probedOwner, copies)
 }
 
 func (b *Bus) sanitizeFail(ba uint64, copies any, why string) {

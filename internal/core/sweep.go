@@ -276,7 +276,9 @@ const (
 )
 
 // RunGeometrySweeps runs the uniprocessor sweeps along the chosen
-// dimension; fixedBytes is the cache size for the non-size modes.
+// dimension; fixedBytes is the cache size for the non-size modes. Like
+// RunCacheSweeps, the four workload configurations are independent and
+// execute concurrently; result order is fixed.
 func RunGeometrySweeps(o SweepOpts, mode GeometryMode, fixedBytes int) *CacheSweeps {
 	mk := func(name string) []cache.Config {
 		switch mode {
@@ -288,15 +290,28 @@ func RunGeometrySweeps(o SweepOpts, mode GeometryMode, fixedBytes int) *CacheSwe
 			return cache.SizeSweepConfigs(name)
 		}
 	}
-	run := func(kind Kind, scale int, label string) SweepResult {
-		return runUniSweepConfigs(kind, scale, label, o, mk("I"), mk("D"))
+	type spec struct {
+		kind  Kind
+		scale int
+		label string
 	}
-	return &CacheSweeps{Results: []SweepResult{
-		run(ECperf, 10, "ECperf"),
-		run(SPECjbb, 25, "SPECjbb-25"),
-		run(SPECjbb, 10, "SPECjbb-10"),
-		run(SPECjbb, 1, "SPECjbb-1"),
-	}}
+	specs := []spec{
+		{ECperf, 10, "ECperf"},
+		{SPECjbb, 25, "SPECjbb-25"},
+		{SPECjbb, 10, "SPECjbb-10"},
+		{SPECjbb, 1, "SPECjbb-1"},
+	}
+	out := make([]SweepResult, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp spec) {
+			defer wg.Done()
+			out[i] = runUniSweepConfigs(sp.kind, sp.scale, sp.label, o, mk("I"), mk("D"))
+		}(i, sp)
+	}
+	wg.Wait()
+	return &CacheSweeps{Results: out}
 }
 
 // missAt reads one point off a sweep curve (for notes and tests).

@@ -1,0 +1,67 @@
+package memsys
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/simrand"
+)
+
+// TestSnoopFilterEquivalenceMemsys runs the snoop-filter equivalence check
+// through the full hierarchy (L1s, sibling invalidation, shared-L2
+// grouping) rather than raw bus nodes, for private and shared-cache shapes:
+// a filtered and a brute-force machine see identical randomized traffic and
+// must return identical results and counters. The bus-level variant lives
+// in internal/coherence.
+func TestSnoopFilterEquivalenceMemsys(t *testing.T) {
+	for _, perL2 := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("cpusPerL2=%d", perL2), func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			cfg.CPUsPerL2 = perL2
+			cfg.L2.SizeBytes = 64 << 10
+			if os.Getenv("COHERENCE_BRUTE_SNOOP") == "1" {
+				t.Skip("COHERENCE_BRUTE_SNOOP=1: both machines would be brute-force, nothing to compare")
+			}
+			filtered := New(cfg)
+			brute := New(cfg)
+			brute.Bus().DisableSnoopFilter()
+
+			rng := simrand.New(0xCAFE + uint64(perL2))
+			for i := 0; i < 80000; i++ {
+				cpu := rng.Intn(cfg.CPUs)
+				addr := mem.Addr(rng.Int63n(1 << 18))
+				now := uint64(i)
+				switch rng.Intn(3) {
+				case 0:
+					fr := filtered.Read(cpu, addr, now)
+					br := brute.Read(cpu, addr, now)
+					if fr != br {
+						t.Fatalf("access %d: Read(%#x) cpu %d: %+v vs %+v", i, addr, cpu, fr, br)
+					}
+				case 1:
+					fr := filtered.Write(cpu, addr, now)
+					br := brute.Write(cpu, addr, now)
+					if fr != br {
+						t.Fatalf("access %d: Write(%#x) cpu %d: %+v vs %+v", i, addr, cpu, fr, br)
+					}
+				default:
+					fr := filtered.Fetch(cpu, addr, now)
+					br := brute.Fetch(cpu, addr, now)
+					if fr != br {
+						t.Fatalf("access %d: Fetch(%#x) cpu %d: %+v vs %+v", i, addr, cpu, fr, br)
+					}
+				}
+			}
+			if filtered.Bus().Stats != brute.Bus().Stats {
+				t.Errorf("bus stats diverge:\nfiltered %+v\nbrute    %+v",
+					filtered.Bus().Stats, brute.Bus().Stats)
+			}
+			if filtered.DataMisses != brute.DataMisses || filtered.FetchMisses != brute.FetchMisses {
+				t.Errorf("hierarchy miss counts diverge: data %d/%d, fetch %d/%d",
+					filtered.DataMisses, brute.DataMisses, filtered.FetchMisses, brute.FetchMisses)
+			}
+		})
+	}
+}

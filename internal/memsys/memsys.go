@@ -138,9 +138,11 @@ type cpuPort struct {
 
 // Hierarchy is one machine's assembled memory system.
 type Hierarchy struct {
-	cfg   Config
-	bus   *coherence.Bus
-	ports []*cpuPort
+	cfg Config
+	bus *coherence.Bus
+	// ports is indexed by CPU and stored by value: the per-access path loads
+	// a port's fields with one indexed access instead of chasing a pointer.
+	ports []cpuPort
 
 	// DataMisses and FetchMisses count bus-level (L2) misses that moved
 	// data, split by access kind — Figure 16 plots the data side.
@@ -156,7 +158,7 @@ func New(cfg Config) *Hierarchy {
 	}
 	h := &Hierarchy{cfg: cfg, bus: coherence.NewBus()}
 	groups := cfg.CPUs / cfg.CPUsPerL2
-	ports := make([]*cpuPort, cfg.CPUs)
+	ports := make([]cpuPort, cfg.CPUs)
 	for g := 0; g < groups; g++ {
 		members := make([]int, cfg.CPUsPerL2)
 		for i := range members {
@@ -164,25 +166,21 @@ func New(cfg Config) *Hierarchy {
 		}
 		// The node's invalidation hook maintains L1 inclusion for every
 		// processor behind this L2.
-		groupPorts := make([]*cpuPort, 0, cfg.CPUsPerL2)
 		node := h.bus.AddNode(cache.New(cfg.L2), func(ba uint64) {
-			for _, p := range groupPorts {
-				p.l1i.Invalidate(ba)
-				p.l1d.Invalidate(ba)
+			for _, cpu := range members {
+				ports[cpu].l1i.Invalidate(ba)
+				ports[cpu].l1d.Invalidate(ba)
 			}
 		})
 		for _, cpu := range members {
-			p := &cpuPort{
-				l1i:   cache.New(cfg.L1I),
-				l1d:   cache.New(cfg.L1D),
-				node:  node,
-				group: members,
-			}
+			p := &ports[cpu]
+			p.l1i = cache.New(cfg.L1I)
+			p.l1d = cache.New(cfg.L1D)
+			p.node = node
+			p.group = members
 			if cfg.DTLB != nil {
 				p.dtlb = tlb.New(*cfg.DTLB)
 			}
-			groupPorts = append(groupPorts, p)
-			ports[cpu] = p
 		}
 	}
 	h.ports = ports
@@ -198,7 +196,7 @@ func (h *Hierarchy) Bus() *coherence.Bus { return h.bus }
 // Fetch performs an instruction-block fetch for the CPU, returning the
 // stall charged to the front end.
 func (h *Hierarchy) Fetch(cpu int, addr mem.Addr, now uint64) Result {
-	p := h.ports[cpu]
+	p := &h.ports[cpu]
 	ba := p.l1i.BlockAddr(addr)
 	p.l1i.Stats.Fetches++
 	if l := p.l1i.Probe(ba); l != nil {
@@ -216,7 +214,7 @@ func (h *Hierarchy) Fetch(cpu int, addr mem.Addr, now uint64) Result {
 
 // Read performs a data load.
 func (h *Hierarchy) Read(cpu int, addr mem.Addr, now uint64) Result {
-	p := h.ports[cpu]
+	p := &h.ports[cpu]
 	var ts uint64
 	if p.dtlb != nil {
 		ts = p.dtlb.Access(addr)
@@ -242,7 +240,7 @@ func (h *Hierarchy) Read(cpu int, addr mem.Addr, now uint64) Result {
 // latency; whether it stalls the processor is the store buffer's decision
 // (internal/cpu).
 func (h *Hierarchy) Write(cpu int, addr mem.Addr, now uint64) Result {
-	p := h.ports[cpu]
+	p := &h.ports[cpu]
 	var ts uint64
 	if p.dtlb != nil {
 		ts = p.dtlb.Access(addr)
@@ -277,15 +275,15 @@ func (h *Hierarchy) Write(cpu int, addr mem.Addr, now uint64) Result {
 	if src == coherence.SrcCache || src == coherence.SrcMemory {
 		h.DataMisses++
 	}
-	p.l1d.Allocate(ba, l1Modified)
-	p.l1d.Probe(ba).Dirty = true
+	l, _, _ := p.l1d.Allocate(ba, l1Modified)
+	l.Dirty = true
 	r := h.result(src)
 	r.TLBStall = ts
 	return r
 }
 
 func (h *Hierarchy) invalidateSiblings(cpu int, ba uint64) {
-	p := h.ports[cpu]
+	p := &h.ports[cpu]
 	if len(p.group) == 1 {
 		return
 	}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// HostProfile bundles the host-side (wall-clock) profiling options every
+// driver command wires uniformly, next to the simulated-time artifacts of
+// Flags:
+//
+//	-cpuprofile FILE   Go pprof CPU profile of the simulator process
+//	-memprofile FILE   Go pprof heap profile written at exit
+//
+// The simulated-cycle profiler (-profile) answers "where does simulated
+// time go"; these answer "where does the simulator's own time go", which is
+// what the performance-regression harness (cmd/perfcheck) digs into when a
+// benchmark moves.
+type HostProfile struct {
+	CPUFile string
+	MemFile string
+
+	cpuOut *os.File
+}
+
+// Register installs the flags on fs.
+func (h *HostProfile) Register(fs *flag.FlagSet) {
+	fs.StringVar(&h.CPUFile, "cpuprofile", "", "write a Go pprof CPU profile of the simulator process")
+	fs.StringVar(&h.MemFile, "memprofile", "", "write a Go pprof heap profile at exit")
+}
+
+// Start begins CPU profiling if requested. Call Stop before exit; deferring
+// it from main is the usual shape.
+func (h *HostProfile) Start() error {
+	if h.CPUFile == "" {
+		return nil
+	}
+	f, err := os.Create(h.CPUFile)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	h.cpuOut = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile, if either was
+// requested. Safe to call when nothing was started.
+func (h *HostProfile) Stop() {
+	if h.cpuOut != nil {
+		pprof.StopCPUProfile()
+		h.cpuOut.Close()
+		h.cpuOut = nil
+	}
+	if h.MemFile != "" {
+		f, err := os.Create(h.MemFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}
