@@ -6,11 +6,15 @@
 //
 //	cachesweep [-ops N] [-seed N]
 //	           [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	           [-attr FILE] [-attr-exact] [-attr-top N]
 //
 // The sweeper is purely functional (no timing model), so observability
 // artifacts use the instruction count as the clock: trace timestamps are
 // instructions (~cycles at the uniprocessor's ~1 CPI) and the folded
-// profile attributes instructions to code components.
+// profile attributes instructions to code components. -attr attributes at
+// the reference level (every line touched), not the miss level: there is
+// no coherence protocol on one processor, so the report's value here is
+// the hot-object table, not the sharing patterns.
 package main
 
 import (

@@ -7,6 +7,7 @@
 //
 //	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
 //	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	          [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //	          [-faults FILE|demo] [-fault-bin cycles] [-fault-report FILE]
 //	          [-watchdog cycles]
 //	          [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
@@ -68,6 +69,15 @@ func main() {
 	// Stop is idempotent: the deferred call flushes a final progress line
 	// even when a fault/watchdog path exits early.
 	defer hb.Stop()
+	if ofl.Inspect != "" {
+		in, err := obs.StartInspector(ofl.Inspect, "ecperfsim", hb)
+		if err != nil {
+			fatal(fmt.Errorf("starting inspector: %w", err))
+		}
+		defer in.Close()
+		ob.Inspect = in
+		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
+	}
 
 	var plan *core.CheckpointPlan
 	if *ckptPath != "" {
@@ -154,6 +164,10 @@ func main() {
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure))
 	if ckpt := *ckptPath; ckpt != "" {
 		fmt.Printf("checkpoint: saved to %s (resume with -resume %s)\n", ckpt, ckpt)
+	}
+	if ob != nil && ob.Attr != nil {
+		fmt.Println()
+		report.AttrSummary(os.Stdout, ob.Attr.BuildReport(ofl.AttrTop))
 	}
 
 	if ofl.Enabled() {

@@ -7,6 +7,7 @@
 //
 //	figures [-fig N] [-quick] [-seeds K]
 //	        [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	        [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //
 // Without -fig, every figure is produced (Figures 4–9 share one scaling
 // sweep per workload, so the whole set costs little more than its largest
@@ -14,8 +15,10 @@
 //
 // The observability flags additionally run one fully-observed point per
 // workload (the largest processor count, first seed) and write a Chrome
-// trace, a metrics-registry snapshot, and/or a folded-stack cycle profile,
-// each with a reproducibility manifest (<file>.manifest.json) beside it.
+// trace, a metrics-registry snapshot, a folded-stack cycle profile, and/or
+// a memory-attribution report, each with a reproducibility manifest
+// (<file>.manifest.json) beside it. -inspect serves the observed runs'
+// live metrics and attribution tables over HTTP while they execute.
 package main
 
 import (
@@ -157,12 +160,25 @@ func main() {
 		// and by scope in the folded profile.
 		procs := opts.Procs[len(opts.Procs)-1]
 		seed := opts.Seeds[0]
+		var insp *obs.Inspector
+		if ofl.Inspect != "" {
+			var err error
+			insp, err = obs.StartInspector(ofl.Inspect, "figures", hb)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "starting inspector: %v\n", err)
+				os.Exit(1)
+			}
+			defer insp.Close()
+			fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+		}
 		var observers []*obs.Observer
 		var snaps []*obs.Snapshot
 		var labels []string
 		for i, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
 			fmt.Fprintf(os.Stderr, "observed run: %s, %d processors, seed %d...\n", kind, procs, seed)
 			ob := ofl.NewObserver(i)
+			ob.Inspect = insp
+			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, procs))
 			_, snap := core.RunObservedPoint(kind, procs, seed, opts, ob)
 			observers = append(observers, ob)
 			snaps = append(snaps, snap)

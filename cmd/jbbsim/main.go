@@ -7,6 +7,7 @@
 //
 //	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
 //	       [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	       [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //	       [-watchdog cycles]
 //	       [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
 package main
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 func main() {
@@ -52,6 +54,15 @@ func main() {
 	// Stop is idempotent: the deferred call flushes a final progress line
 	// even when an error path exits early.
 	defer hb.Stop()
+	if ofl.Inspect != "" {
+		in, err := obs.StartInspector(ofl.Inspect, "jbbsim", hb)
+		if err != nil {
+			fatal(fmt.Errorf("starting inspector: %w", err))
+		}
+		defer in.Close()
+		ob.Inspect = in
+		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
+	}
 
 	var plan *core.CheckpointPlan
 	if *ckptPath != "" {
@@ -121,6 +132,10 @@ func main() {
 		float64(sys.Heap.Stats.LiveAfterLastGC)/(1<<20))
 	if ckpt := *ckptPath; ckpt != "" {
 		fmt.Printf("checkpoint: saved to %s (resume with -resume %s)\n", ckpt, ckpt)
+	}
+	if ob != nil && ob.Attr != nil {
+		fmt.Println()
+		report.AttrSummary(os.Stdout, ob.Attr.BuildReport(ofl.AttrTop))
 	}
 
 	if ofl.Enabled() {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/stats"
 )
 
@@ -174,6 +175,12 @@ type Bus struct {
 	// other traced event by orders of magnitude).
 	Tracer *obs.Tracer
 
+	// Attr, when non-nil, receives every bus-level event (miss, C2C
+	// transfer, upgrade, writeback, invalidation) with its block address
+	// for per-line and per-object attribution. Off (nil) costs one pointer
+	// compare per transaction.
+	Attr *attr.Collector
+
 	// Sanitize re-checks the protocol's cross-cache invariants after every
 	// transaction and panics on the first violation (see sanitize.go). Off
 	// by default; COHERENCE_SANITIZE=1 enables it process-wide for CI.
@@ -185,11 +192,41 @@ type Bus struct {
 	// the mask holds, or fewer than two nodes (nothing to snoop).
 	filter   *filterTable
 	noFilter bool
+
+	// Brute-force fallback bookkeeping: a snoop filter silently reverting
+	// to the O(P) scan is a performance cliff worth surfacing, so each
+	// fallback is counted and its reason retained. Deliberately not part of
+	// Stats — the filter-vs-brute equivalence suites assert identical Stats
+	// across the two modes.
+	filterFallbacks   uint64
+	filterFallbackWhy string
 }
 
 // NewBus returns an empty bus; attach caches with AddNode.
 func NewBus() *Bus {
-	return &Bus{Sanitize: sanitizeEnv, noFilter: bruteSnoopEnv}
+	b := &Bus{Sanitize: sanitizeEnv, noFilter: bruteSnoopEnv}
+	if bruteSnoopEnv {
+		b.noteFilterFallback("COHERENCE_BRUTE_SNOOP=1 environment override")
+	}
+	return b
+}
+
+// noteFilterFallback records one reversion to brute-force snooping and
+// emits a trace instant when a tracer is already attached (drivers that
+// attach the tracer later re-emit from the recorded reason).
+func (b *Bus) noteFilterFallback(reason string) {
+	b.filterFallbacks++
+	b.filterFallbackWhy = reason
+	if b.Tracer.Enabled(obs.CompMem) {
+		b.Tracer.Instant(obs.CompMem, "snoop.brute_fallback", 0, 0,
+			obs.Arg{Key: "reason", Val: reason})
+	}
+}
+
+// FilterFallbacks returns how many times this bus reverted to brute-force
+// snooping and the most recent reason ("" when the filter never fell back).
+func (b *Bus) FilterFallbacks() (uint64, string) {
+	return b.filterFallbacks, b.filterFallbackWhy
 }
 
 // AddNode attaches an L2 cache to the bus and returns its node handle.
@@ -201,6 +238,10 @@ func (b *Bus) AddNode(l2 *cache.Cache, onInvalidate func(ba uint64)) *Node {
 	b.nodes = append(b.nodes, n)
 	if len(b.nodes) > maxFilterNodes {
 		// The sharer bitmask is 32 bits; wider buses snoop by brute force.
+		if len(b.nodes) == maxFilterNodes+1 {
+			b.noteFilterFallback(fmt.Sprintf(
+				"bus grew past %d nodes (sharer mask width)", maxFilterNodes))
+		}
 		b.filter = nil
 	} else if b.filter == nil {
 		// The filter is built lazily on the second attach: one node has no
@@ -345,6 +386,9 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
 	}
+	if n.bus.Attr != nil {
+		n.bus.Attr.RecordGetS(ba, n.id, src == SrcCache)
+	}
 	if n.bus.Tracer.Enabled(obs.CompMem) {
 		n.bus.Tracer.Instant(obs.CompMem, "bus.gets", n.id, now,
 			obs.Arg{Key: "src", Val: src.String()}, obs.Arg{Key: "addr", Val: ba})
@@ -373,6 +417,9 @@ func (b *Bus) snoopGetS(l *cache.Line) bool {
 			l.State = Shared
 			l.Dirty = false
 			b.Stats.Writebacks++
+			if b.Attr != nil {
+				b.Attr.RecordWriteback(l.Tag, -1)
+			}
 		}
 		return true
 	case Owned:
@@ -416,6 +463,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 			n.invalidateRemotes(ba)
 			l.State = Modified
 			l.Dirty = true
+			if n.bus.Attr != nil {
+				n.bus.Attr.RecordUpgrade(ba, n.id)
+			}
 			if n.bus.Tracer.Enabled(obs.CompMem) {
 				n.bus.Tracer.Instant(obs.CompMem, "bus.upgrade", n.id, now,
 					obs.Arg{Key: "addr", Val: ba})
@@ -443,6 +493,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 					}
 					other.notifyInvalidate(ba)
 					n.bus.Stats.Invalidations++
+					if n.bus.Attr != nil {
+						n.bus.Attr.RecordInval(ba, other.id)
+					}
 				}
 			}
 			// All remote copies are gone and this node is about to fill the
@@ -463,6 +516,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 				other.l2.Invalidate(ba)
 				other.notifyInvalidate(ba)
 				n.bus.Stats.Invalidations++
+				if n.bus.Attr != nil {
+					n.bus.Attr.RecordInval(ba, other.id)
+				}
 			}
 		}
 	}
@@ -471,6 +527,9 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	} else {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
+	}
+	if n.bus.Attr != nil {
+		n.bus.Attr.RecordGetM(ba, n.id, src == SrcCache)
 	}
 	if n.bus.Tracer.Enabled(obs.CompMem) {
 		n.bus.Tracer.Instant(obs.CompMem, "bus.getm", n.id, now,
@@ -495,6 +554,9 @@ func (n *Node) invalidateRemotes(ba uint64) {
 				if _, present := other.l2.Invalidate(ba); present {
 					other.notifyInvalidate(ba)
 					n.bus.Stats.Invalidations++
+					if n.bus.Attr != nil {
+						n.bus.Attr.RecordInval(ba, other.id)
+					}
 				}
 			}
 			*p = fSetOwner(1<<uint(n.id), n.id)
@@ -508,6 +570,9 @@ func (n *Node) invalidateRemotes(ba uint64) {
 		if _, present := other.l2.Invalidate(ba); present {
 			other.notifyInvalidate(ba)
 			n.bus.Stats.Invalidations++
+			if n.bus.Attr != nil {
+				n.bus.Attr.RecordInval(ba, other.id)
+			}
 		}
 	}
 }
@@ -527,6 +592,9 @@ func (n *Node) insert(ba uint64, st cache.State) *cache.Line {
 	}
 	if victim.State == Modified || victim.State == Owned {
 		n.bus.Stats.Writebacks++
+		if n.bus.Attr != nil {
+			n.bus.Attr.RecordWriteback(victim.Tag, n.id)
+		}
 	}
 	n.notifyInvalidate(victim.Tag)
 	return l

@@ -70,7 +70,10 @@ func fClearOwner(v uint64) uint64 { return v & fMaskBits }
 // filter index is dropped, not merely bypassed.
 func (b *Bus) DisableSnoopFilter() {
 	b.noFilter = true
-	b.filter = nil
+	if b.filter != nil {
+		b.filter = nil
+		b.noteFilterFallback("DisableSnoopFilter call")
+	}
 }
 
 // SnoopFilterEnabled reports whether the duplicate-tag filter is active.

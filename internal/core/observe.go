@@ -1,9 +1,15 @@
 package core
 
 import (
+	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/stats"
 )
+
+// inspectTopN bounds the hot-line/object tables rendered for the live
+// inspection endpoint; the final report honors the -attr-top flag instead.
+const inspectTopN = 20
 
 // AttachObserver wires an observer through an assembled system (tracer into
 // the engine and bus, profiler into every core) and registers the standard
@@ -28,7 +34,41 @@ func AttachObserver(sys *System, ob *obs.Observer) {
 	if ob.Profiler != nil && ob.Profiler.Scope == "" {
 		ob.Profiler.Scope = sys.Params.Kind.String()
 	}
+	if ob.Attr != nil {
+		sys.Hier.Bus().Attr = ob.Attr
+		if sys.Heap != nil {
+			sys.Heap.SetAttr(ob.Attr)
+		}
+		// Addresses the heap cannot name (code, stacks, DB buffers) fall
+		// back to the machine's address-space region names.
+		space := sys.Space
+		ob.Attr.Fallback = func(a uint64) (string, bool) {
+			r, ok := space.FindRegion(mem.Addr(a))
+			if !ok {
+				return "", false
+			}
+			return r.Name, true
+		}
+	}
 	registerMetrics(sys, ob.Registry)
+	if r := ob.Registry; r != nil {
+		bus := sys.Hier.Bus()
+		r.Counter("memsys.bus.snoop_fallback", func() uint64 { n, _ := bus.FilterFallbacks(); return n })
+		if a := ob.Attr; a != nil {
+			r.Counter("attr.events", a.Events)
+			r.Counter("attr.epochs", func() uint64 { return uint64(a.EpochCount()) })
+			r.Counter("attr.resamples", func() uint64 { return uint64(a.Resamples()) })
+			r.Gauge("attr.lines", func() float64 { return float64(a.Len()) })
+		}
+	}
+	// A bus that has already abandoned its snoop filter (env override,
+	// or growth past the sharer-mask width) surfaces that on the trace
+	// timeline too; later fallbacks emit their own instants.
+	if ob.Tracer != nil && ob.Tracer.Enabled(obs.CompMem) {
+		if n, why := sys.Hier.Bus().FilterFallbacks(); n > 0 {
+			ob.Tracer.Instant(obs.CompMem, "snoop.brute_fallback", 0, 0, obs.Arg{Key: "reason", Val: why})
+		}
+	}
 }
 
 // registerMetrics binds the machine's counters into the registry under the
@@ -145,6 +185,9 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 			}
 			eng.Run(t)
 			hb.SetCycles(t)
+			if ob != nil && ob.Inspect != nil {
+				ob.Inspect.Publish(ob, inspectTopN, false)
+			}
 			if nextSave > 0 && t >= nextSave {
 				if err := plan.save(sys, warmup, t); err != nil {
 					return err
@@ -163,6 +206,11 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 	}
 	eng.ResetStats()
 	prof.Reset() // the folded profile covers exactly the measurement window
+	if ob != nil {
+		// Attribution, like the figure metrics, covers only the
+		// measurement window; warm-up traffic is discarded.
+		ob.Attr.Reset()
+	}
 	var base *obs.Snapshot
 	if reg != nil {
 		base = reg.Snapshot()
@@ -178,6 +226,17 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 		return nil, err
 	}
 	hb.Add(1)
+	if ob != nil && ob.Attr != nil {
+		// Attribute the tail of the measurement window that no GC closed.
+		var res attr.Resolver
+		if sys.Heap != nil {
+			res = sys.Heap.SiteResolver()
+		}
+		ob.Attr.CloseEpoch(res, "final")
+	}
+	if ob != nil && ob.Inspect != nil {
+		ob.Inspect.Publish(ob, inspectTopN, true)
+	}
 
 	if reg != nil {
 		return reg.Snapshot().Delta(base), nil

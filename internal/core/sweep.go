@@ -8,6 +8,7 @@ import (
 	"repro/internal/ifetch"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/attr"
 	"repro/internal/osmodel"
 	"repro/internal/simrand"
 	"repro/internal/trace"
@@ -27,6 +28,11 @@ type feeder struct {
 	// and the profiler receives instruction counts as CatBase "cycles".
 	tracer *obs.Tracer
 	prof   *obs.Profiler
+	// attrc, when non-nil, attributes data references per cache line. The
+	// sweeper has no coherence protocol, so reads and writes are recorded
+	// directly (reference-level, not miss-level) — the sharing classifier
+	// still applies, everything being single-node read-only or private.
+	attrc *attr.Collector
 }
 
 func newFeeder(layout *ifetch.CodeLayout, rng *simrand.Rand, icfgs, dcfgs []cache.Config) *feeder {
@@ -49,8 +55,10 @@ func (f *feeder) feedItems(items []trace.Item) {
 			})
 		case trace.KindRead:
 			f.sweepD.AccessRange(it.Addr, uint64(it.N), mem.Read)
+			f.attrRange(it.Addr, uint64(it.N), false)
 		case trace.KindWrite:
 			f.sweepD.AccessRange(it.Addr, uint64(it.N), mem.Write)
+			f.attrRange(it.Addr, uint64(it.N), true)
 		case trace.KindGCPause:
 			if it.GC != nil {
 				if f.tracer.Enabled(obs.CompJVM) {
@@ -59,6 +67,21 @@ func (f *feeder) feedItems(items []trace.Item) {
 				}
 				f.feedItems(it.GC.Items)
 			}
+		}
+	}
+}
+
+// attrRange records every 64 B line an access touches with the collector.
+func (f *feeder) attrRange(addr mem.Addr, n uint64, write bool) {
+	if f.attrc == nil || n == 0 {
+		return
+	}
+	const line = 64
+	for ba := uint64(addr) &^ (line - 1); ba < uint64(addr)+n; ba += line {
+		if write {
+			f.attrc.RecordGetM(ba, 0, false)
+		} else {
+			f.attrc.RecordGetS(ba, 0, false)
 		}
 	}
 }
@@ -128,6 +151,18 @@ func runUniSweepConfigs(kind Kind, scale int, label string, o SweepOpts, icfgs, 
 	}
 	if ob != nil {
 		f.tracer, f.prof = ob.Tracer, ob.Profiler
+		if ob.Attr != nil {
+			f.attrc = ob.Attr
+			sys.Heap.SetAttr(ob.Attr)
+			space := sys.Space
+			ob.Attr.Fallback = func(a uint64) (string, bool) {
+				r, ok := space.FindRegion(mem.Addr(a))
+				if !ok {
+					return "", false
+				}
+				return r.Name, true
+			}
+		}
 		if f.tracer != nil {
 			f.tracer.NameProcess(f.tracer.Pid, label)
 		}
@@ -178,8 +213,12 @@ func runUniSweepConfigs(kind Kind, scale int, label string, o SweepOpts, icfgs, 
 	feedRound(o.WarmupOps)
 	f.reset()
 	f.prof.Reset()
+	f.attrc.Reset()
 	f.prof.SetPhase("measure")
 	feedRound(o.MeasureOps)
+	if f.attrc != nil {
+		f.attrc.CloseEpoch(sys.Heap.SiteResolver(), "final")
+	}
 	ic, dc := f.curves()
 	o.Progress.Add(1)
 	o.Progress.AddCycles(f.instr)

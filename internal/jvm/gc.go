@@ -40,6 +40,9 @@ func sortedTIDs(m map[int][]ObjectID) []int {
 // (cache-to-cache transfers collapse during collection) and the GC-idle
 // component of Figure 5.
 func (h *Heap) MinorGC(rec *trace.Recorder) *trace.GC {
+	// The copying collector is about to reassign addresses: close the
+	// attribution epoch against the still-valid pre-GC layout.
+	h.closeAttrEpoch("minor")
 	gcRec := trace.NewRecorder("minor-gc", false)
 	gcRec.Instr(h.cfg.GCComp, h.cfg.MinorBaseInstr)
 
@@ -197,6 +200,9 @@ func (h *Heap) free(id ObjectID) {
 // This is the slower collection whose onset past ~30 warehouses causes the
 // paper's Figure 11 dip and the "dramatic performance degradation" of §4.6.
 func (h *Heap) MajorGC(rec *trace.Recorder) *trace.GC {
+	// As in MinorGC: attribute accrued line events before compaction
+	// invalidates every object address.
+	h.closeAttrEpoch("major")
 	gcRec := trace.NewRecorder("major-gc", false)
 	gcRec.Instr(h.cfg.GCComp, h.cfg.MajorBaseInstr)
 

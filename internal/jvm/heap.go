@@ -20,8 +20,10 @@ package jvm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem"
+	"repro/internal/obs/attr"
 	"repro/internal/trace"
 )
 
@@ -99,6 +101,11 @@ type object struct {
 	young bool
 	live  bool // slot in use (false = recycled)
 	mark  bool // scratch for GC
+	// site is the interned allocation-site label (0 = unlabeled). It moves
+	// with the object across copying collections, which is what lets the
+	// attribution layer keep address ranges mapped to sites as the heap
+	// reshapes itself.
+	site uint16
 }
 
 // Stats reports collector activity.
@@ -145,6 +152,15 @@ type Heap struct {
 
 	monitorSeq uint64
 
+	// Allocation-site attribution: sites interns labels (index 0 =
+	// unlabeled), curSite tracks each thread's current site, and attrc,
+	// when non-nil, is the attribution collector whose epochs close at
+	// every GC boundary (addresses are about to be reassigned).
+	sites   []string
+	siteIDs map[string]uint16
+	curSite map[int]uint16
+	attrc   *attr.Collector
+
 	Stats Stats
 }
 
@@ -169,6 +185,9 @@ func NewHeap(space *mem.AddrSpace, cfg Config) (*Heap, error) {
 		stackRoots: make(map[int][]ObjectID),
 		tlabs:      make(map[int]*tlab),
 		objects:    make([]object, 1), // slot 0 = NilObject
+		sites:      []string{""},
+		siteIDs:    make(map[string]uint16),
+		curSite:    make(map[int]uint16),
 	}
 	h.surv[0] = space.Reserve("heap:surv0", survBytes)
 	h.surv[1] = space.Reserve("heap:surv1", survBytes)
@@ -258,7 +277,7 @@ func (h *Heap) Alloc(rec *trace.Recorder, tid int, size uint32, nRefs int) Objec
 		addr = h.allocTLAB(rec, tid, uint64(size))
 	}
 	id := h.newID()
-	h.objects[id] = object{addr: addr, size: size, young: h.inYoung(addr), live: true}
+	h.objects[id] = object{addr: addr, size: size, young: h.inYoung(addr), live: true, site: h.curSite[tid]}
 	if nRefs > 0 {
 		h.objects[id].refs = make([]ObjectID, nRefs)
 	}
@@ -267,6 +286,85 @@ func (h *Heap) Alloc(rec *trace.Recorder, tid int, size uint32, nRefs int) Objec
 	h.stackRoots[tid] = append(h.stackRoots[tid], id)
 	rec.Write(addr, size) // zeroing + header init
 	return id
+}
+
+// SetAllocSite sets thread tid's current allocation-site label: objects the
+// thread allocates from here on carry it (until the next SetAllocSite), and
+// the attribution layer rolls line events up to these labels. An empty
+// label reverts the thread to unlabeled. Labels are interned; stamping an
+// object costs one uint16 copy, so workloads annotate their allocation
+// clusters unconditionally.
+func (h *Heap) SetAllocSite(tid int, site string) {
+	if site == "" {
+		delete(h.curSite, tid)
+		return
+	}
+	id, ok := h.siteIDs[site]
+	if !ok {
+		if len(h.sites) > 0xFFFF {
+			// Site table full: further labels fold into the last slot
+			// rather than panicking mid-run.
+			id = uint16(len(h.sites) - 1)
+		} else {
+			id = uint16(len(h.sites))
+			h.sites = append(h.sites, site)
+			h.siteIDs[site] = id
+		}
+	}
+	h.curSite[tid] = id
+}
+
+// AllocSiteOf returns the object's allocation-site label ("" if unlabeled).
+func (h *Heap) AllocSiteOf(id ObjectID) string { return h.sites[h.objects[id].site] }
+
+// SetAttr attaches the attribution collector: every collection boundary
+// closes an attribution epoch against the pre-GC address layout, so line
+// events always resolve to the object that owned the address when the
+// events happened.
+func (h *Heap) SetAttr(c *attr.Collector) { h.attrc = c }
+
+// closeAttrEpoch resolves the current epoch's line events against the
+// current (pre-move) heap layout. Called at the top of every collection.
+func (h *Heap) closeAttrEpoch(trigger string) {
+	if h.attrc != nil {
+		h.attrc.CloseEpoch(h.SiteResolver(), trigger)
+	}
+}
+
+// SiteResolver returns a resolver over the current addresses of all
+// site-labeled live objects (unlabeled objects defer to the collector's
+// region fallback). The snapshot is sorted once; lookups binary-search.
+// Addresses are only valid until the next collection — which is exactly
+// the window the attribution epochs cover.
+func (h *Heap) SiteResolver() attr.Resolver {
+	type span struct {
+		base, end mem.Addr
+		site      uint16
+	}
+	spans := make([]span, 0, 256)
+	for i := 1; i < len(h.objects); i++ {
+		o := &h.objects[i]
+		if o.live && o.site != 0 {
+			spans = append(spans, span{o.addr, o.addr + mem.Addr(o.size), o.site})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].base < spans[j].base })
+	sites := h.sites
+	return func(a uint64) (string, bool) {
+		// Objects never overlap, so the candidate is the last span starting
+		// at or before a. A line address can precede its object's base
+		// (objects need not be line-aligned); attribute the line to the
+		// object covering its first byte.
+		i := sort.Search(len(spans), func(i int) bool { return spans[i].base > a })
+		if i == 0 {
+			return "", false
+		}
+		s := &spans[i-1]
+		if a < s.end {
+			return sites[s.site], true
+		}
+		return "", false
+	}
 }
 
 // ClearStack pops thread tid's stack roots: objects it allocated are no

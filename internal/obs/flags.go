@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
+
+	"repro/internal/obs/attr"
 )
 
 // Flags bundles the standard observability command-line options so every
@@ -14,11 +17,19 @@ import (
 //	-trace FILE      Chrome trace_event JSON (Perfetto / chrome://tracing)
 //	-metrics FILE    metrics-registry snapshot ("-" = stdout)
 //	-profile FILE    folded-stack simulated-cycle profile
+//	-attr FILE       memory-event attribution report JSON ("-" = stdout)
+//	-attr-exact      track every line instead of sampling (more memory)
+//	-attr-top N      rows per hot-line / hot-object table
+//	-inspect ADDR    serve live metrics/attribution/status over HTTP
 //	-heartbeat DUR   periodic progress line on stderr
 type Flags struct {
 	Trace     string
 	Metrics   string
 	Profile   string
+	Attr      string
+	AttrExact bool
+	AttrTop   int
+	Inspect   string
 	Heartbeat time.Duration
 }
 
@@ -27,13 +38,17 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Trace, "trace", "", "write a Chrome trace_event JSON file (load in Perfetto or chrome://tracing)")
 	fs.StringVar(&f.Metrics, "metrics", "", `write the metrics-registry snapshot to this file ("-" = stdout)`)
 	fs.StringVar(&f.Profile, "profile", "", "write a folded-stack simulated-cycle profile (flamegraph.pl / speedscope)")
+	fs.StringVar(&f.Attr, "attr", "", `write the memory-event attribution report JSON to this file ("-" = stdout)`)
+	fs.BoolVar(&f.AttrExact, "attr-exact", false, "attribute every cache line instead of a deterministic sample (unbounded memory)")
+	fs.IntVar(&f.AttrTop, "attr-top", 20, "rows in the attribution hot-line and hot-object tables")
+	fs.StringVar(&f.Inspect, "inspect", "", `serve live metrics, attribution, and status over HTTP on this address (e.g. ":8970")`)
 	fs.DurationVar(&f.Heartbeat, "heartbeat", 0, "print a progress line every interval (0 = off)")
 }
 
 // Enabled reports whether any artifact was requested (the heartbeat alone
 // does not need an observer).
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics != "" || f.Profile != ""
+	return f.Trace != "" || f.Metrics != "" || f.Profile != "" || f.Attr != "" || f.Inspect != ""
 }
 
 // NewObserver builds an observer carrying only the requested parts — an
@@ -45,11 +60,14 @@ func (f *Flags) NewObserver(pid int) *Observer {
 		ob.Tracer = NewTracer(AllComponents())
 		ob.Tracer.Pid = pid
 	}
-	if f.Metrics != "" {
+	if f.Metrics != "" || f.Inspect != "" {
 		ob.Registry = NewRegistry()
 	}
 	if f.Profile != "" {
 		ob.Profiler = NewProfiler()
+	}
+	if f.Attr != "" || f.Inspect != "" {
+		ob.Attr = attr.NewCollector(attr.Options{Exact: f.AttrExact})
 	}
 	return ob
 }
@@ -145,6 +163,45 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 			return err
 		}
 		outputs = append(outputs, f.Profile)
+	}
+
+	if f.Attr != "" {
+		// One JSON object keyed by run label, so a sweep's reports land in
+		// a single machine-readable file.
+		reports := make(map[string]*attr.Report)
+		for i, ob := range observers {
+			if ob == nil || ob.Attr == nil {
+				continue
+			}
+			label := fmt.Sprintf("run%d", i)
+			if i < len(labels) && labels[i] != "" {
+				label = labels[i]
+			}
+			reports[label] = ob.Attr.BuildReport(f.AttrTop)
+		}
+		buf, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if f.Attr == "-" {
+			if _, err := os.Stdout.Write(buf); err != nil {
+				return err
+			}
+		} else {
+			w, err := AtomicCreate(f.Attr, 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(buf); err != nil {
+				w.Abort()
+				return err
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			outputs = append(outputs, f.Attr)
+		}
 	}
 
 	if m != nil {

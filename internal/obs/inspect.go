@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Inspector serves a live, read-only view of an in-flight run over HTTP:
+// the metrics-registry snapshot, the memory-attribution report, and a small
+// status document. It exists for the long runs — a 90-warehouse jbbsim
+// point can take minutes of wall time, and "is it making progress, and what
+// is it doing to the memory system right now" should not require waiting
+// for the final artifacts.
+//
+// The simulator is single-threaded per run and must stay deterministic, so
+// HTTP handlers never touch live simulator state. Instead the sim thread
+// calls Publish at slice boundaries, which renders the registry and
+// attribution tables into byte snapshots under a mutex; handlers serve the
+// last published bytes. Publishing is wall-time throttled so the sim thread
+// pays the rendering cost at most a few times per second regardless of
+// slice rate, and wall time never feeds back into simulation state.
+//
+// A nil *Inspector is valid and disabled.
+type Inspector struct {
+	label string
+	hb    *Heartbeat
+	start time.Time
+	ln    net.Listener
+	srv   *http.Server
+
+	mu      sync.Mutex
+	metrics []byte
+	attr    []byte
+	note    string
+	pubs    uint64
+	lastPub time.Time
+}
+
+// publishInterval is the minimum wall time between non-forced Publish
+// renders. Handlers are unaffected; they only ever read published bytes.
+const publishInterval = 250 * time.Millisecond
+
+// StartInspector listens on addr (":0" picks a free port) and serves until
+// Close. label names the run in /status; hb, when non-nil, contributes
+// run/cycle progress counters (its fields are atomics, so reading them from
+// handler goroutines is race-free).
+func StartInspector(addr, label string, hb *Heartbeat) (*Inspector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	in := &Inspector{label: label, hb: hb, start: time.Now(), ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", in.handleIndex)
+	mux.HandleFunc("/metrics", in.handleMetrics)
+	mux.HandleFunc("/attr", in.handleAttr)
+	mux.HandleFunc("/status", in.handleStatus)
+	in.srv = &http.Server{Handler: mux}
+	go in.srv.Serve(ln)
+	return in, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (in *Inspector) Addr() string {
+	if in == nil || in.ln == nil {
+		return ""
+	}
+	return in.ln.Addr().String()
+}
+
+// Close stops serving. Published snapshots are dropped with it.
+func (in *Inspector) Close() error {
+	if in == nil || in.srv == nil {
+		return nil
+	}
+	return in.srv.Close()
+}
+
+// Publish renders ob's registry snapshot and attribution report and makes
+// them the live view. Call it from the simulation thread at slice
+// boundaries; unless force is set, calls within publishInterval of the last
+// render return immediately so the hot loop is not billed for rendering.
+// Use force for the final publish so the end-of-run state is visible.
+func (in *Inspector) Publish(ob *Observer, topN int, force bool) {
+	if in == nil || ob == nil {
+		return
+	}
+	now := time.Now()
+	in.mu.Lock()
+	if !force && now.Sub(in.lastPub) < publishInterval {
+		in.mu.Unlock()
+		return
+	}
+	in.lastPub = now
+	in.mu.Unlock()
+
+	// Render outside the lock: handlers keep serving the previous snapshot
+	// while the new one is built.
+	var metrics []byte
+	if ob.Registry != nil {
+		var sb strings.Builder
+		ob.Registry.Snapshot().WriteTo(&sb)
+		metrics = []byte(sb.String())
+	}
+	var attrJSON []byte
+	if ob.Attr != nil {
+		if buf, err := json.MarshalIndent(ob.Attr.BuildReport(topN), "", "  "); err == nil {
+			attrJSON = append(buf, '\n')
+		}
+	}
+
+	in.mu.Lock()
+	in.metrics = metrics
+	in.attr = attrJSON
+	in.pubs++
+	in.mu.Unlock()
+}
+
+// SetNote attaches a free-form line to /status — the drivers use it for
+// watchdog reports and phase announcements.
+func (in *Inspector) SetNote(note string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.note = note
+	in.mu.Unlock()
+}
+
+func (in *Inspector) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/status   run status (JSON)\n", in.label)
+}
+
+func (in *Inspector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	body := in.metrics
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if body == nil {
+		fmt.Fprintln(w, "# no metrics snapshot published yet")
+		return
+	}
+	w.Write(body)
+}
+
+func (in *Inspector) handleAttr(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	body := in.attr
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	w.Write(body)
+}
+
+func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	note := in.note
+	pubs := in.pubs
+	last := in.lastPub
+	in.mu.Unlock()
+
+	st := map[string]any{
+		"label":        in.label,
+		"wall_seconds": time.Since(in.start).Seconds(),
+		"publishes":    pubs,
+	}
+	if !last.IsZero() {
+		st["last_publish_age_seconds"] = time.Since(last).Seconds()
+	}
+	if note != "" {
+		st["note"] = note
+	}
+	if in.hb != nil {
+		st["runs"] = in.hb.Runs.Load()
+		if in.hb.TotalRuns > 0 {
+			st["total_runs"] = in.hb.TotalRuns
+		}
+		cy := in.hb.SimCycles.Load()
+		st["sim_cycles"] = cy
+		st["sim_millis"] = float64(cy) / (CyclesPerMicrosecond * 1e3)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	buf, _ := json.MarshalIndent(st, "", "  ")
+	w.Write(append(buf, '\n'))
+}

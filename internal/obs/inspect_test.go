@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/attr"
+)
+
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestInspectorServesPublishedState(t *testing.T) {
+	hb := &Heartbeat{}
+	hb.Runs.Store(3)
+	hb.SimCycles.Store(5_000_000)
+	in, err := StartInspector("127.0.0.1:0", "testrun", hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	base := "http://" + in.Addr()
+
+	// Before any publish: endpoints respond with placeholders, not errors.
+	if body, _ := get(t, base+"/metrics"); !strings.Contains(body, "no metrics") {
+		t.Errorf("unpublished /metrics = %q", body)
+	}
+	if body, ct := get(t, base+"/attr"); strings.TrimSpace(body) != "{}" || ct != "application/json" {
+		t.Errorf("unpublished /attr = %q (%s)", body, ct)
+	}
+
+	ob := &Observer{Registry: NewRegistry(), Attr: attr.NewCollector(attr.Options{Exact: true})}
+	var n uint64 = 42
+	ob.Registry.Counter("test.counter", func() uint64 { return n })
+	ob.Attr.RecordGetS(0x4040, 0, true)
+	ob.Attr.RecordGetM(0x4040, 1, false)
+	in.SetNote("mid-run")
+	in.Publish(ob, 10, true)
+
+	if body, _ := get(t, base+"/metrics"); !strings.Contains(body, "test.counter") || !strings.Contains(body, "42") {
+		t.Errorf("/metrics missing published counter: %q", body)
+	}
+	body, _ := get(t, base+"/attr")
+	var rep attr.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/attr is not a report: %v", err)
+	}
+	if rep.Events != 2 || rep.LinesTracked != 1 {
+		t.Errorf("/attr report = %d events / %d lines, want 2/1", rep.Events, rep.LinesTracked)
+	}
+
+	body, ct := get(t, base+"/status")
+	if ct != "application/json" {
+		t.Errorf("/status content type %q", ct)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["label"] != "testrun" || st["note"] != "mid-run" {
+		t.Errorf("/status = %v", st)
+	}
+	if st["runs"].(float64) != 3 || st["sim_cycles"].(float64) != 5_000_000 {
+		t.Errorf("/status heartbeat counters = %v", st)
+	}
+
+	if body, _ := get(t, base+"/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %q", body)
+	}
+}
+
+func TestInspectorThrottlesPublish(t *testing.T) {
+	in, err := StartInspector("127.0.0.1:0", "throttle", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	ob := &Observer{Attr: attr.NewCollector(attr.Options{Exact: true})}
+	ob.Attr.RecordGetS(0x40, 0, false)
+	in.Publish(ob, 5, true)
+	ob.Attr.RecordGetS(0x80, 0, false)
+	in.Publish(ob, 5, false) // inside the throttle window: dropped
+	body, _ := get(t, "http://"+in.Addr()+"/attr")
+	var rep attr.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 1 {
+		t.Errorf("throttled publish leaked through: %d events served, want 1", rep.Events)
+	}
+	in.Publish(ob, 5, true) // forced: must land
+	body, _ = get(t, "http://"+in.Addr()+"/attr")
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 2 {
+		t.Errorf("forced publish dropped: %d events served, want 2", rep.Events)
+	}
+}
+
+func TestNilInspectorIsSafe(t *testing.T) {
+	var in *Inspector
+	in.Publish(&Observer{}, 5, true)
+	in.SetNote("x")
+	if in.Addr() != "" {
+		t.Error("nil inspector has an address")
+	}
+	if err := in.Close(); err != nil {
+		t.Error(err)
+	}
+}

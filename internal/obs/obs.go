@@ -18,6 +18,8 @@
 //     own (the simulator is single-threaded per run for determinism).
 package obs
 
+import "repro/internal/obs/attr"
+
 // Component gates tracing per simulator layer, so a trace of GC pauses is
 // not drowned by millions of bus transactions unless asked for.
 type Component uint8
@@ -59,13 +61,15 @@ func (c Component) String() string {
 	}
 }
 
-// Observer bundles the three facilities for one simulated run. Any field
-// may be nil: a nil Tracer/Profiler disables that facility at effectively
+// Observer bundles the facilities for one simulated run. Any field may be
+// nil: a nil Tracer/Profiler/Attr disables that facility at effectively
 // zero cost, and a nil Registry simply has nothing bound to it.
 type Observer struct {
 	Tracer   *Tracer
 	Registry *Registry
 	Profiler *Profiler
+	Attr     *attr.Collector
+	Inspect  *Inspector
 }
 
 // NewObserver returns an observer with every facility enabled: a tracer

@@ -363,7 +363,9 @@ func (s *workerSource) entity(rec *trace.Recorder, tid int, dom uint64, key int,
 		// its error path with a nil entity.
 		return jvm.NilObject
 	}
+	w.heap.SetAllocSite(tid, "ec.bean")
 	obj := w.heap.Alloc(rec, tid, w.cfg.BeanBytes, 0)
+	w.heap.SetAllocSite(tid, "")
 	rec.Instr(w.comps.EJB.ID, w.cfg.PerEntityInstr) // ORM hydration
 	w.cache.Put(rec, k, obj, now)
 	return obj
@@ -408,6 +410,7 @@ func (s *workerSource) begin(rec *trace.Recorder, tid int) {
 	rec.Instr(w.comps.Servlet.ID, w.cfg.ServletInstr)
 	s.metaWalk(rec, w.cfg.MetaReads/2)
 	// Session/request temporaries.
+	w.heap.SetAllocSite(tid, "ec.session")
 	n := w.cfg.SessionBytes
 	for n > 0 {
 		sz := uint32(96 + s.rng.Intn(160))
@@ -417,6 +420,7 @@ func (s *workerSource) begin(rec *trace.Recorder, tid int) {
 		w.heap.Alloc(rec, tid, sz, 0)
 		n -= sz
 	}
+	w.heap.SetAllocSite(tid, "")
 	rec.Instr(w.comps.JVM.ID, w.cfg.SessionBytes/8)
 }
 
@@ -445,7 +449,9 @@ func (s *workerSource) newOrder(tid int, now uint64) *trace.Op {
 	if !s.failed {
 		// The new order bean: written through to the database; the local
 		// copy enters the cache.
+		h.SetAllocSite(tid, "ec.order")
 		order := h.Alloc(rec, tid, w.cfg.BeanBytes, 0)
+		h.SetAllocSite(tid, "")
 		h.WriteField(rec, order, 1)
 		w.cache.Put(rec, domOrder<<32|uint64(s.ordZipf.Next()), order, now)
 		s.commit(rec, tid)
@@ -512,7 +518,9 @@ func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 
+	h.SetAllocSite(tid, "ec.workorder")
 	wo := h.Alloc(rec, tid, w.cfg.WorkOrderBytes, 0)
+	h.SetAllocSite(tid, "")
 	h.AddRoot(wo)
 	// Bill of materials.
 	for i := 0; i < 3; i++ {
@@ -559,11 +567,15 @@ func (s *workerSource) purchase(tid int, now uint64) *trace.Op {
 		s.read(rec, item)
 	}
 	// Format the XML document (allocation-heavy), send it, parse the reply.
+	h.SetAllocSite(tid, "ec.xml")
 	doc := h.Alloc(rec, tid, w.cfg.XMLBytes, 0)
+	h.SetAllocSite(tid, "")
 	h.ReadObject(rec, doc)
 	rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr)
 	if s.call(rec, PeerSupplier, w.cfg.XMLBytes, w.cfg.XMLBytes/2) {
+		h.SetAllocSite(tid, "ec.xml")
 		reply := h.Alloc(rec, tid, w.cfg.XMLBytes/2, 0)
+		h.SetAllocSite(tid, "")
 		h.ReadObject(rec, reply)
 		rec.Instr(w.comps.Servlet.ID, w.cfg.XMLInstr/2)
 		s.commit(rec, tid)

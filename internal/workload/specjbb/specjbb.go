@@ -177,11 +177,14 @@ func New(cfg Config, heap *jvm.Heap, comps Components, rng *simrand.Rand) *Workl
 func (w *Workload) buildWarehouse(rec *trace.Recorder, idx int) *warehouse {
 	h := w.heap
 	wh := &warehouse{mon: h.NewMonitor(rec)}
+	h.SetAllocSite(idx, "jbb.warehouse")
 	wh.obj = h.Alloc(rec, idx, 128, 3)
 	h.AddRoot(wh.obj)
+	h.SetAllocSite(idx, "jbb.index")
 	wh.index = h.Alloc(rec, idx, w.cfg.IndexBytes, 0) // large: lands in old gen
 	h.AddRoot(wh.index)
 
+	h.SetAllocSite(idx, "jbb.customer")
 	custArr := h.Alloc(rec, idx, uint32(8*w.cfg.Customers+jvm.HeaderBytes), w.cfg.Customers)
 	h.SetRef(rec, wh.obj, 0, custArr)
 	for c := 0; c < w.cfg.Customers; c++ {
@@ -190,6 +193,7 @@ func (w *Workload) buildWarehouse(rec *trace.Recorder, idx int) *warehouse {
 		wh.customers = append(wh.customers, cust)
 	}
 
+	h.SetAllocSite(idx, "jbb.item")
 	itemArr := h.Alloc(rec, idx, uint32(8*w.cfg.Items+jvm.HeaderBytes), w.cfg.Items)
 	h.SetRef(rec, wh.obj, 1, itemArr)
 	for s := 0; s < w.cfg.Items; s++ {
@@ -198,6 +202,7 @@ func (w *Workload) buildWarehouse(rec *trace.Recorder, idx int) *warehouse {
 		wh.items = append(wh.items, item)
 	}
 
+	h.SetAllocSite(idx, "jbb.district")
 	distArr := h.Alloc(rec, idx, uint32(8*w.cfg.Districts+jvm.HeaderBytes), w.cfg.Districts)
 	h.SetRef(rec, wh.obj, 2, distArr)
 	for d := 0; d < w.cfg.Districts; d++ {
@@ -207,6 +212,7 @@ func (w *Workload) buildWarehouse(rec *trace.Recorder, idx int) *warehouse {
 		h.SetRef(rec, distArr, d, dobj)
 		wh.districts = append(wh.districts, &district{obj: dobj, orderRing: ring})
 	}
+	h.SetAllocSite(idx, "")
 	return wh
 }
 
@@ -320,6 +326,7 @@ func (s *threadSource) garbage(rec *trace.Recorder, tid int) {
 		rec.Instr(w.comps.JVM.ID, 800)
 		w.edenMon.Unlock(rec)
 	}
+	w.heap.SetAllocSite(tid, "jbb.garbage")
 	for n > 0 {
 		sz := uint32(64 + s.rng.Intn(192))
 		if sz > n {
@@ -328,6 +335,7 @@ func (s *threadSource) garbage(rec *trace.Recorder, tid int) {
 		w.heap.Alloc(rec, tid, sz, 0)
 		n -= sz
 	}
+	w.heap.SetAllocSite(tid, "")
 	rec.Instr(w.comps.JVM.ID, w.cfg.GarbagePerTxn/8)
 }
 
@@ -347,6 +355,7 @@ func (s *threadSource) newOrder(tid int) *trace.Op {
 	h.ReadObject(rec, cust)
 
 	nlines := w.cfg.OrderLinesMin + s.rng.Intn(w.cfg.OrderLinesMax-w.cfg.OrderLinesMin+1)
+	h.SetAllocSite(tid, "jbb.orderline")
 	lineArr := h.Alloc(rec, tid, uint32(8*nlines+jvm.HeaderBytes), nlines)
 	for i := 0; i < nlines; i++ {
 		s.indexWalk(rec)
@@ -358,6 +367,7 @@ func (s *threadSource) newOrder(tid int) *trace.Op {
 		h.SetRef(rec, lineArr, i, line)
 		rec.Instr(w.comps.App.ID, w.cfg.PerLineInstr)
 	}
+	h.SetAllocSite(tid, "jbb.order")
 	order := h.Alloc(rec, tid, w.cfg.OrderBytes, 2)
 	h.SetRef(rec, order, 0, cust)
 	h.SetRef(rec, order, 1, lineArr)
@@ -392,8 +402,10 @@ func (s *threadSource) payment(tid int) *trace.Op {
 	s.indexWalk(rec)
 	cust := s.wh.customers[s.custZipf.Next()]
 	h.ReadObject(rec, cust)
-	h.WriteField(rec, cust, 1)               // balance
+	h.WriteField(rec, cust, 1) // balance
+	h.SetAllocSite(tid, "jbb.history")
 	h.Alloc(rec, tid, w.cfg.HistoryBytes, 1) // history record (short-lived)
+	h.SetAllocSite(tid, "")
 	s.wh.mon.Unlock(rec)
 
 	rec.Instr(w.comps.App.ID, w.cfg.PaymentInstr/2)

@@ -130,7 +130,9 @@ func (s *connSource) NextOp(tid int, now uint64) *trace.Op {
 	// Minimal user-mode work: parse, look up the room, append to history.
 	rec.Instr(w.comps.App.ID, cfg.ProcInstr)
 	w.heap.ReadObject(rec, w.rooms[s.room])
+	w.heap.SetAllocSite(tid, "volano.history")
 	w.heap.Alloc(rec, tid, cfg.HistoryBytes, 0)
+	w.heap.SetAllocSite(tid, "")
 
 	// Broadcast: one kernel send per other member of the room. This
 	// fan-out is the whole story — ~95% of the path is kernel code.
