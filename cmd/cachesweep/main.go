@@ -46,6 +46,13 @@ func main() {
 	}
 	defer hp.Stop()
 
+	if ofl.LatencyEnabled() {
+		// The sweeper has no timing model, so there is no request latency to
+		// measure; accept-and-warn keeps shared flag sets usable across tools.
+		fmt.Fprintln(os.Stderr, "cachesweep: -latency/-slo ignored (trace-driven sweep has no timing model)")
+		ofl.Latency, ofl.SLO = "", ""
+	}
+
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "cachesweep", ofl.Heartbeat)
 	defer hb.Stop() // Stop is idempotent: this flushes a final line even on early return

@@ -8,9 +8,18 @@
 //	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
 //	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	          [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
+//	          [-latency FILE] [-slo SPEC] [-latency-interval cycles]
 //	          [-faults FILE|demo] [-fault-bin cycles] [-fault-report FILE]
 //	          [-watchdog cycles]
 //	          [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
+//
+// With -latency and/or -slo, every business transaction is traced end to
+// end through the tiers and decomposed into phases (CPU, memory stall, lock
+// wait, network, DB queue/service, GC pause); per-class HDR histograms, the
+// latency time series, and SLO verdicts print after the standard report and
+// land in the -latency JSON artifact. Combined with -faults, the latency
+// collector rides the *faulted* run, so the report shows the degradation
+// and SLO burn around each fault window.
 //
 // With -faults, the run becomes a robustness experiment: the same seed is
 // measured clean and with the fault schedule armed, and the tool prints the
@@ -27,11 +36,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/report"
 )
 
@@ -64,6 +75,10 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
+	rt, err := core.NewLatencyCollector(&ofl)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "ecperfsim", ofl.Heartbeat)
 	// Stop is idempotent: the deferred call flushes a final progress line
@@ -85,13 +100,17 @@ func main() {
 	}
 
 	if *faults != "" {
-		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, ob, hb, &ofl, start)
+		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, ob, rt, hb, &ofl, start)
 		return
 	}
 
 	var sys *core.System
 	var delta *obs.Snapshot
 	if *resume != "" {
+		if rt != nil {
+			fmt.Fprintln(os.Stderr, "ecperfsim: -latency/-slo ignored with -resume (spans cannot be reconstructed mid-run)")
+			rt = nil
+		}
 		cp, err := core.LoadCheckpoint(*resume)
 		if err != nil {
 			fatal(err)
@@ -110,6 +129,7 @@ func main() {
 			Seed:           *seed,
 			WatchdogCycles: *watchdog,
 		})
+		core.AttachLatency(sys, ob, rt)
 		var err error
 		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
 		if err != nil {
@@ -129,8 +149,13 @@ func main() {
 		sys.Params.Processors, sys.Params.Scale, seconds*1000)
 	fmt.Printf("throughput        %10.0f BBops/min (%0.0f/s)\n",
 		60*float64(res.BusinessOps)/seconds, float64(res.BusinessOps)/seconds)
-	for tag, n := range res.OpsByTag {
-		line := fmt.Sprintf("  %-15s %10d", tag, n)
+	tags := make([]string, 0, len(res.OpsByTag))
+	for tag := range res.OpsByTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		line := fmt.Sprintf("  %-15s %10d", tag, res.OpsByTag[tag])
 		if h := res.LatencyByTag[tag]; h != nil && h.Count() > 0 {
 			line += fmt.Sprintf("   p50 %5.2fms  p90 %5.2fms",
 				1000*float64(h.Quantile(0.5))/core.CyclesPerSecond,
@@ -169,6 +194,10 @@ func main() {
 		fmt.Println()
 		report.AttrSummary(os.Stdout, ob.Attr.BuildReport(ofl.AttrTop))
 	}
+	if rt != nil {
+		fmt.Println()
+		report.LatencySummary(os.Stdout, rt.BuildReport())
+	}
 
 	if ofl.Enabled() {
 		m := &obs.Manifest{
@@ -190,8 +219,9 @@ func main() {
 }
 
 // runFaultExperiment is the -faults mode: a paired clean/faulted measurement
-// rendered as the throughput-under-fault curve.
-func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, ob *obs.Observer, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
+// rendered as the throughput-under-fault curve. rt, when non-nil, collects
+// request latency on the faulted run.
+func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, ob *obs.Observer, rt *reqtrace.Collector, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
 	var sched *fault.Schedule
 	if spec == "demo" {
 		sched = fault.Demo(warmup, measure)
@@ -216,11 +246,16 @@ func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint6
 		BinCycles:     bin,
 		Observer:      ob,
 		Progress:      hb,
+		Latency:       rt,
 	}
 	r := core.RunFaultExperiment(o)
 	hb.Stop()
 	f := core.FaultFigure(r)
 	report.Render(os.Stdout, f)
+	if rt != nil {
+		fmt.Println()
+		report.LatencySummary(os.Stdout, rt.BuildReport())
+	}
 
 	if reportPath != "" {
 		af, err := obs.AtomicCreate(reportPath, 0o644)

@@ -15,8 +15,9 @@
 //
 // The observability flags additionally run one fully-observed point per
 // workload (the largest processor count, first seed) and write a Chrome
-// trace, a metrics-registry snapshot, a folded-stack cycle profile, and/or
-// a memory-attribution report, each with a reproducibility manifest
+// trace, a metrics-registry snapshot, a folded-stack cycle profile, a
+// memory-attribution report, and/or a request-latency/SLO report
+// (-latency/-slo), each with a reproducibility manifest
 // (<file>.manifest.json) beside it. -inspect serves the observed runs'
 // live metrics and attribution tables over HTTP while they execute.
 package main
@@ -179,7 +180,14 @@ func main() {
 			ob := ofl.NewObserver(i)
 			ob.Inspect = insp
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, procs))
-			_, snap := core.RunObservedPoint(kind, procs, seed, opts, ob)
+			// Each observed run gets its own latency collector; the -latency
+			// artifact keys the reports by workload label.
+			rt, err := core.NewLatencyCollector(&ofl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			_, snap := core.RunObservedPointLatency(kind, procs, seed, opts, ob, rt)
 			observers = append(observers, ob)
 			snaps = append(snaps, snap)
 			labels = append(labels, kind.String())

@@ -8,14 +8,22 @@
 //	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
 //	       [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	       [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
+//	       [-latency FILE] [-slo SPEC] [-latency-interval cycles]
 //	       [-watchdog cycles]
 //	       [-checkpoint FILE] [-checkpoint-every cycles] [-resume FILE]
+//
+// With -latency and/or -slo, every transaction is traced end to end through
+// the simulated tiers and decomposed into phases (CPU, memory stall, lock
+// wait, network, DB queue/service, GC pause); the per-class HDR histograms,
+// latency time series, and SLO verdicts print after the standard report and
+// land in the -latency JSON artifact.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -49,6 +57,10 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
+	rt, err := core.NewLatencyCollector(&ofl)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "jbbsim", ofl.Heartbeat)
 	// Stop is idempotent: the deferred call flushes a final progress line
@@ -72,6 +84,10 @@ func main() {
 	var sys *core.System
 	var delta *obs.Snapshot
 	if *resume != "" {
+		if rt != nil {
+			fmt.Fprintln(os.Stderr, "jbbsim: -latency/-slo ignored with -resume (spans cannot be reconstructed mid-run)")
+			rt = nil
+		}
 		cp, err := core.LoadCheckpoint(*resume)
 		if err != nil {
 			fatal(err)
@@ -90,6 +106,7 @@ func main() {
 			Seed:           *seed,
 			WatchdogCycles: *watchdog,
 		})
+		core.AttachLatency(sys, ob, rt)
 		var err error
 		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
 		if err != nil {
@@ -109,8 +126,13 @@ func main() {
 		sys.Params.Processors, sys.Params.Scale, seconds*1000)
 	fmt.Printf("throughput        %10.0f transactions/s\n", float64(res.BusinessOps)/seconds)
 	fmt.Printf("transactions      %10d\n", res.BusinessOps)
-	for tag, n := range res.OpsByTag {
-		fmt.Printf("  %-15s %10d\n", tag, n)
+	tags := make([]string, 0, len(res.OpsByTag))
+	for tag := range res.OpsByTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		fmt.Printf("  %-15s %10d\n", tag, res.OpsByTag[tag])
 	}
 	total := float64(res.Modes.Total())
 	fmt.Printf("modes: user %.1f%%  system %.1f%%  i/o %.1f%%  idle %.1f%%  gc-idle %.1f%%\n",
@@ -136,6 +158,10 @@ func main() {
 	if ob != nil && ob.Attr != nil {
 		fmt.Println()
 		report.AttrSummary(os.Stdout, ob.Attr.BuildReport(ofl.AttrTop))
+	}
+	if rt != nil {
+		fmt.Println()
+		report.LatencySummary(os.Stdout, rt.BuildReport())
 	}
 
 	if ofl.Enabled() {

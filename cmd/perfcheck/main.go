@@ -11,7 +11,8 @@
 //
 // The pinned set mixes macro benchmarks (full figure pipelines, dominated by
 // the simulator's end-to-end hot path) with bus-level micro benchmarks that
-// isolate the snooping machinery. Results are min-of-count: the minimum is
+// isolate the snooping machinery and the HDR-histogram record/merge path the
+// latency collector leans on. Results are min-of-count: the minimum is
 // the least noisy estimator on a shared machine. allocs/op is recorded for
 // diagnosis but only ns/op gates.
 package main
@@ -33,7 +34,8 @@ import (
 // system + generators), the local-hit fast path, and the snoop-heavy bus
 // patterns the duplicate-tag filter exists for.
 const pinnedBench = "^(BenchmarkFig08C2CRatio|BenchmarkFig13DCacheMissRate|BenchmarkFig16SharedCaches|" +
-	"BenchmarkReadLocalHit|BenchmarkMigratoryWrite16Nodes|BenchmarkReadSharedGetS16Nodes)$"
+	"BenchmarkReadLocalHit|BenchmarkMigratoryWrite16Nodes|BenchmarkReadSharedGetS16Nodes|" +
+	"BenchmarkHDRRecord|BenchmarkHDRMerge)$"
 
 // Result is one benchmark's summary, min across runs.
 type Result struct {
@@ -53,7 +55,7 @@ var allocsField = regexp.MustCompile(`(\d+) allocs/op`)
 
 func main() {
 	bench := flag.String("bench", pinnedBench, "benchmark regex passed to go test -bench")
-	pkgs := flag.String("pkgs", ".,./internal/coherence", "comma-separated packages to benchmark")
+	pkgs := flag.String("pkgs", ".,./internal/coherence,./internal/obs", "comma-separated packages to benchmark")
 	count := flag.Int("count", 3, "runs per benchmark; the minimum is kept")
 	tol := flag.Float64("tol", 0.30, "allowed fractional ns/op regression vs baseline")
 	out := flag.String("out", "BENCH_1.json", "result file to write")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/appserver"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 )
 
 // FaultRunOpts size a throughput-under-fault experiment: the same (seed,
@@ -30,6 +31,11 @@ type FaultRunOpts struct {
 	// registry the fault.* counters. Progress reports both runs' cycles.
 	Observer *obs.Observer
 	Progress *obs.Heartbeat
+	// Latency, when non-nil, is attached to the *faulted* run too: the
+	// experiment's question is how request latency degrades and recovers
+	// around the windows, and the clean run at the same seed is already
+	// characterized by a plain observed run.
+	Latency *reqtrace.Collector
 }
 
 // DefaultFaultRunOpts returns the documented fault demo: the full standard
@@ -107,6 +113,10 @@ func binnedRun(sys *System, o FaultRunOpts) []uint64 {
 		}
 		eng.Run(t)
 		o.Progress.SetCycles(t)
+		if rt := eng.ReqTrace(); rt != nil {
+			p50, p99 := rt.LiveQuantiles()
+			o.Progress.SetLatency(p50, p99)
+		}
 		ops := eng.Results().BusinessOps
 		bins = append(bins, ops-prev)
 		prev = ops
@@ -134,6 +144,7 @@ func RunFaultExperiment(o FaultRunOpts) FaultRunResult {
 		FaultSchedule: o.Schedule, FaultPolicy: o.Policy,
 	})
 	AttachObserver(faulted, o.Observer)
+	AttachLatency(faulted, o.Observer, o.Latency)
 	res.Faulted = binnedRun(faulted, o)
 
 	if c := faulted.EC.Caller(); c != nil {

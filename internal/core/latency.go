@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
+)
+
+// NewLatencyCollector builds a request-latency collector from the
+// observability flags, or nil when latency tracking was not requested —
+// the nil collector keeps the engine's zero-overhead path. A malformed
+// -slo spec is a user error and is returned as one.
+func NewLatencyCollector(f *obs.Flags) (*reqtrace.Collector, error) {
+	if f == nil || !f.LatencyEnabled() {
+		return nil, nil
+	}
+	objs, err := reqtrace.ParseObjectives(f.SLO)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -slo: %w", err)
+	}
+	return reqtrace.NewCollector(reqtrace.Options{
+		IntervalCycles: f.LatencyInterval,
+		Objectives:     objs,
+	}), nil
+}
+
+// AttachLatency wires a latency collector into a built system's timing
+// engine and binds its report renderer into the observer (so -inspect's
+// /latency page and WriteArtifacts can see it without obs depending on
+// reqtrace). A nil collector is a no-op; call before the first Run.
+func AttachLatency(sys *System, ob *obs.Observer, rt *reqtrace.Collector) {
+	if rt == nil {
+		return
+	}
+	sys.Engine.SetReqTrace(rt)
+	if ob != nil {
+		ob.LatencyReport = rt.ReportJSON
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/stats"
 )
 
@@ -185,6 +186,10 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 			}
 			eng.Run(t)
 			hb.SetCycles(t)
+			if rt := eng.ReqTrace(); rt != nil {
+				p50, p99 := rt.LiveQuantiles()
+				hb.SetLatency(p50, p99)
+			}
 			if ob != nil && ob.Inspect != nil {
 				ob.Inspect.Publish(ob, inspectTopN, false)
 			}
@@ -248,7 +253,16 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 // ObserveRun for the phase discipline). It returns the figure metrics and
 // the measurement-window metrics delta.
 func RunObservedPoint(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer) (ScalingPoint, *obs.Snapshot) {
+	return RunObservedPointLatency(kind, procs, seed, o, ob, nil)
+}
+
+// RunObservedPointLatency is RunObservedPoint with a request-latency
+// collector attached before the first cycle (nil rt tracks nothing). The
+// collector re-anchors at the warm-up boundary with the rest of the stats,
+// so its report covers exactly the measurement window.
+func RunObservedPointLatency(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer, rt *reqtrace.Collector) (ScalingPoint, *obs.Snapshot) {
 	sys := BuildSystem(SystemParams{Kind: kind, Processors: procs, Seed: seed})
+	AttachLatency(sys, ob, rt)
 	delta := ObserveRun(sys, ob, o.Progress, o.WarmupCycles, o.MeasureCycles)
 	return summarizePoint(sys, procs, seed, o), delta
 }

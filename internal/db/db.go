@@ -66,6 +66,14 @@ func NewServer(cfg Config, rng *simrand.Rand) *Server {
 // Respond queues the request on the earliest-free worker and returns the
 // completion time.
 func (s *Server) Respond(arrive uint64, reqBytes, respBytes uint32) uint64 {
+	done, _, _ := s.RespondDetail(arrive, reqBytes, respBytes)
+	return done
+}
+
+// RespondDetail is Respond plus the visit decomposition: cycles queued for
+// a worker and cycles in service. Respond delegates here (one code path,
+// one RNG draw), satisfying netsim.DetailedResponder.
+func (s *Server) RespondDetail(arrive uint64, reqBytes, respBytes uint32) (done, queue, service uint64) {
 	// Earliest-free worker.
 	w := 0
 	for i := 1; i < len(s.free); i++ {
@@ -77,7 +85,7 @@ func (s *Server) Respond(arrive uint64, reqBytes, respBytes uint32) uint64 {
 	if s.free[w] > start {
 		start = s.free[w]
 	}
-	service := s.cfg.BaseServiceCycles +
+	service = s.cfg.BaseServiceCycles +
 		uint64(s.cfg.PerByteCycles*float64(reqBytes+respBytes))
 	if s.cfg.Jitter > 0 {
 		service = uint64(float64(service) * (1 - s.cfg.Jitter + s.rng.Exp(s.cfg.Jitter)))
@@ -88,14 +96,14 @@ func (s *Server) Respond(arrive uint64, reqBytes, respBytes uint32) uint64 {
 	if f := s.faults.ServiceFactor(s.peer, arrive); f > 1 {
 		service = uint64(float64(service) * f)
 	}
-	done := start + service
+	done = start + service
 	s.free[w] = done
 	s.served++
 	s.busy += service
 	if done > s.lastEnd {
 		s.lastEnd = done
 	}
-	return done
+	return done, start - arrive, service
 }
 
 // SetFaults attaches a fault injector; db-lock-storm windows aimed at

@@ -27,6 +27,22 @@ type Responder interface {
 	Respond(arrive uint64, reqBytes, respBytes uint32) (done uint64)
 }
 
+// DetailedResponder is a Responder that can also report how the visit
+// decomposed into queueing (waiting for a peer worker) and service. The
+// split is pure bookkeeping: RespondDetail must return the same done time
+// and consume the same randomness as Respond, so attaching a latency
+// collector never perturbs the simulation.
+type DetailedResponder interface {
+	Responder
+	RespondDetail(arrive uint64, reqBytes, respBytes uint32) (done, queue, service uint64)
+}
+
+// RTDetail is the remote decomposition of one round trip.
+type RTDetail struct {
+	Queue   uint64 // cycles the request waited for a peer worker
+	Service uint64 // peer service time
+}
+
 // Link is a full-duplex network link.
 type Link struct {
 	LatencyCycles uint64  // one-way propagation + interrupt cost
@@ -88,6 +104,14 @@ func (n *Network) SetFaults(inj *fault.Injector) { n.faults = inj }
 // Unknown peers answer after a bare round trip, so a miswired experiment
 // fails loudly in results rather than silently hanging.
 func (n *Network) RoundTrip(peer uint8, now uint64, reqBytes, respBytes uint32) uint64 {
+	done, _ := n.RoundTripDetail(peer, now, reqBytes, respBytes)
+	return done
+}
+
+// RoundTripDetail is RoundTrip plus the remote queue/service decomposition
+// (zero for peers that cannot report one). RoundTrip delegates here, so
+// both entry points share one code path and are cycle- and RNG-identical.
+func (n *Network) RoundTripDetail(peer uint8, now uint64, reqBytes, respBytes uint32) (uint64, RTDetail) {
 	reqXfer := n.link.TransferCycles(reqBytes)
 	respXfer := n.link.TransferCycles(respBytes)
 	// A latency-spike fault stretches the wire time both ways. The factor is
@@ -99,12 +123,17 @@ func (n *Network) RoundTrip(peer uint8, now uint64, reqBytes, respBytes uint32) 
 	}
 	arrive := now + reqXfer
 	var done uint64
+	var det RTDetail
 	if r, ok := n.peers[peer]; ok {
-		done = r.Respond(arrive, reqBytes, respBytes)
+		if dr, ok := r.(DetailedResponder); ok {
+			done, det.Queue, det.Service = dr.RespondDetail(arrive, reqBytes, respBytes)
+		} else {
+			done = r.Respond(arrive, reqBytes, respBytes)
+		}
 	} else {
 		done = arrive
 	}
-	return done + respXfer
+	return done + respXfer, det
 }
 
 // StackConfig parameterizes the kernel network path on the measured

@@ -22,15 +22,21 @@ import (
 //	-attr-top N      rows per hot-line / hot-object table
 //	-inspect ADDR    serve live metrics/attribution/status over HTTP
 //	-heartbeat DUR   periodic progress line on stderr
+//	-latency FILE    request-latency/SLO report JSON ("-" = stdout)
+//	-slo SPEC        latency/error objectives, e.g. "p99<=40ms,err<=2%"
+//	-latency-interval N  latency time-series bin width in simulated cycles
 type Flags struct {
-	Trace     string
-	Metrics   string
-	Profile   string
-	Attr      string
-	AttrExact bool
-	AttrTop   int
-	Inspect   string
-	Heartbeat time.Duration
+	Trace           string
+	Metrics         string
+	Profile         string
+	Attr            string
+	AttrExact       bool
+	AttrTop         int
+	Inspect         string
+	Heartbeat       time.Duration
+	Latency         string
+	SLO             string
+	LatencyInterval uint64
 }
 
 // Register installs the flags on fs.
@@ -43,12 +49,22 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.AttrTop, "attr-top", 20, "rows in the attribution hot-line and hot-object tables")
 	fs.StringVar(&f.Inspect, "inspect", "", `serve live metrics, attribution, and status over HTTP on this address (e.g. ":8970")`)
 	fs.DurationVar(&f.Heartbeat, "heartbeat", 0, "print a progress line every interval (0 = off)")
+	fs.StringVar(&f.Latency, "latency", "", `write the request-latency/SLO report JSON to this file ("-" = stdout)`)
+	fs.StringVar(&f.SLO, "slo", "", `latency/error objectives per interval, e.g. "p99<=40ms,neworder:p95<=20ms,err<=2%"`)
+	fs.Uint64Var(&f.LatencyInterval, "latency-interval", 0, "latency time-series bin width in simulated cycles (0 = default 5M, 20 ms)")
 }
 
 // Enabled reports whether any artifact was requested (the heartbeat alone
 // does not need an observer).
 func (f *Flags) Enabled() bool {
-	return f.Trace != "" || f.Metrics != "" || f.Profile != "" || f.Attr != "" || f.Inspect != ""
+	return f.Trace != "" || f.Metrics != "" || f.Profile != "" || f.Attr != "" || f.Inspect != "" ||
+		f.LatencyEnabled()
+}
+
+// LatencyEnabled reports whether request-latency tracking was requested —
+// by asking for the report artifact or by declaring objectives.
+func (f *Flags) LatencyEnabled() bool {
+	return f.Latency != "" || f.SLO != ""
 }
 
 // NewObserver builds an observer carrying only the requested parts — an
@@ -201,6 +217,45 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 				return err
 			}
 			outputs = append(outputs, f.Attr)
+		}
+	}
+
+	if f.Latency != "" {
+		// One JSON object keyed by run label, mirroring the attribution
+		// artifact, so sweeps land all latency reports in one file.
+		reports := make(map[string]json.RawMessage)
+		for i, ob := range observers {
+			if ob == nil || ob.LatencyReport == nil {
+				continue
+			}
+			label := fmt.Sprintf("run%d", i)
+			if i < len(labels) && labels[i] != "" {
+				label = labels[i]
+			}
+			reports[label] = json.RawMessage(ob.LatencyReport())
+		}
+		buf, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if f.Latency == "-" {
+			if _, err := os.Stdout.Write(buf); err != nil {
+				return err
+			}
+		} else {
+			w, err := AtomicCreate(f.Latency, 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(buf); err != nil {
+				w.Abort()
+				return err
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			outputs = append(outputs, f.Latency)
 		}
 	}
 

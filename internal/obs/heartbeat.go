@@ -24,6 +24,10 @@ type Heartbeat struct {
 	TotalRuns uint64
 	// SimCycles is the current simulated-cycle position of a single run.
 	SimCycles atomic.Uint64
+	// latP50/latP99 carry live request-latency quantiles (in cycles) when a
+	// latency collector is attached; zero means "not tracking".
+	latP50 atomic.Uint64
+	latP99 atomic.Uint64
 
 	w       io.Writer
 	label   string
@@ -84,6 +88,15 @@ func (h *Heartbeat) AddCycles(c uint64) {
 	}
 }
 
+// SetLatency records live request-latency quantiles (in cycles) for the
+// progress line. Zero values clear the latency segment.
+func (h *Heartbeat) SetLatency(p50, p99 uint64) {
+	if h != nil {
+		h.latP50.Store(p50)
+		h.latP99.Store(p99)
+	}
+}
+
 // Stop halts the ticker and prints a final line. It is idempotent, so it
 // can be deferred as soon as the heartbeat starts AND called on the normal
 // exit path: the abnormal-termination path (panic unwinding, early error
@@ -118,6 +131,11 @@ func (h *Heartbeat) line() string {
 		simSec := float64(cy) / (CyclesPerMicrosecond * 1e6)
 		s += fmt.Sprintf(", sim %.1f Mcy (%.0f ms simulated, %.2f Mcy/s, %.1fx slower than hardware)",
 			float64(cy)/1e6, 1000*simSec, float64(cy)/1e6/wall, wall/simSec)
+	}
+	if p99 := h.latP99.Load(); p99 > 0 {
+		toMS := CyclesPerMicrosecond * 1e3
+		s += fmt.Sprintf(", lat p50 %.1f ms p99 %.1f ms",
+			float64(h.latP50.Load())/toMS, float64(p99)/toMS)
 	}
 	return s
 }

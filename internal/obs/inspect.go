@@ -36,6 +36,7 @@ type Inspector struct {
 	mu      sync.Mutex
 	metrics []byte
 	attr    []byte
+	latency []byte
 	note    string
 	pubs    uint64
 	lastPub time.Time
@@ -59,6 +60,7 @@ func StartInspector(addr, label string, hb *Heartbeat) (*Inspector, error) {
 	mux.HandleFunc("/", in.handleIndex)
 	mux.HandleFunc("/metrics", in.handleMetrics)
 	mux.HandleFunc("/attr", in.handleAttr)
+	mux.HandleFunc("/latency", in.handleLatency)
 	mux.HandleFunc("/status", in.handleStatus)
 	in.srv = &http.Server{Handler: mux}
 	go in.srv.Serve(ln)
@@ -113,10 +115,15 @@ func (in *Inspector) Publish(ob *Observer, topN int, force bool) {
 			attrJSON = append(buf, '\n')
 		}
 	}
+	var latJSON []byte
+	if ob.LatencyReport != nil {
+		latJSON = ob.LatencyReport()
+	}
 
 	in.mu.Lock()
 	in.metrics = metrics
 	in.attr = attrJSON
+	in.latency = latJSON
 	in.pubs++
 	in.mu.Unlock()
 }
@@ -138,7 +145,7 @@ func (in *Inspector) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/status   run status (JSON)\n", in.label)
+	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/latency  request-latency/SLO report (JSON)\n/status   run status (JSON)\n", in.label)
 }
 
 func (in *Inspector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -165,17 +172,35 @@ func (in *Inspector) handleAttr(w http.ResponseWriter, _ *http.Request) {
 	w.Write(body)
 }
 
+func (in *Inspector) handleLatency(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	body := in.latency
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	w.Write(body)
+}
+
 func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	in.mu.Lock()
 	note := in.note
 	pubs := in.pubs
 	last := in.lastPub
+	latencyLive := in.latency != nil
 	in.mu.Unlock()
 
+	pages := []string{"/metrics", "/attr", "/status"}
+	if latencyLive {
+		pages = append(pages, "/latency")
+	}
 	st := map[string]any{
 		"label":        in.label,
 		"wall_seconds": time.Since(in.start).Seconds(),
 		"publishes":    pubs,
+		"pages":        pages,
 	}
 	if !last.IsZero() {
 		st["last_publish_age_seconds"] = time.Since(last).Seconds()

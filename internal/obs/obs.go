@@ -70,6 +70,11 @@ type Observer struct {
 	Profiler *Profiler
 	Attr     *attr.Collector
 	Inspect  *Inspector
+	// LatencyReport, when set, renders the run's request-latency/SLO report
+	// as JSON. It is a closure rather than a concrete type so this package
+	// does not depend on internal/obs/reqtrace (which depends on the HDR
+	// histogram here); drivers bind it when they attach a latency collector.
+	LatencyReport func() []byte
 }
 
 // NewObserver returns an observer with every facility enabled: a tracer

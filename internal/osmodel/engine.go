@@ -27,6 +27,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
 	"repro/internal/simrand"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -164,6 +165,12 @@ type thread struct {
 	// critical section (preemption control), preventing artificial lock
 	// convoys.
 	locksHeld int
+	// span is the open latency span of the current operation (nil when the
+	// operation is untracked or no collector is attached).
+	span *reqtrace.Span
+	// extFrom is the time the thread blocked on a co-simulated peer, for
+	// charging the external round trip to the span at wake.
+	extFrom uint64
 }
 
 type lockState struct {
@@ -253,6 +260,7 @@ type Engine struct {
 	// Observability (nil when disabled — the zero-overhead default).
 	tracer *obs.Tracer
 	prof   *obs.Profiler
+	rt     *reqtrace.Collector
 
 	// Fault injection (nil when disabled): gc-storm windows amplify
 	// stop-the-world pauses.
@@ -303,6 +311,16 @@ func (e *Engine) AttachObs(o *obs.Observer) {
 // GCPauses returns the distribution of stop-the-world pause lengths in
 // cycles since the last ResetStats (the jvm.gc.pause_cycles metric).
 func (e *Engine) GCPauses() *stats.Histogram { return &e.gcPauses }
+
+// SetReqTrace attaches a request-latency collector: every tracked operation
+// gets a span decomposed into phase segments as the engine plays it. nil
+// (the default) keeps the zero-overhead path; an attached collector is
+// passive — it never changes scheduling, timing, or RNG draws. Call it
+// before Run.
+func (e *Engine) SetReqTrace(rt *reqtrace.Collector) { e.rt = rt }
+
+// ReqTrace returns the attached latency collector, or nil.
+func (e *Engine) ReqTrace() *reqtrace.Collector { return e.rt }
 
 // NewEngine builds a machine. The hierarchy must have cfg.CPUs slots; the
 // layout provides code components; net resolves NetCall items (may be nil
@@ -608,6 +626,9 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 			th.op = op
 			th.opStart = t
 			th.idx = 0
+			if e.rt != nil {
+				th.span = e.rt.Begin(op, t)
+			}
 		}
 		if th.idx >= len(th.op.Items) {
 			if len(th.op.Items) == 0 {
@@ -634,6 +655,10 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 			if e.OnOpComplete != nil {
 				e.OnOpComplete(th.op, th.id, t)
 			}
+			if th.span != nil {
+				e.rt.End(th.span, t)
+				th.span = nil
+			}
 			th.op = nil
 			continue
 		}
@@ -642,19 +667,34 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 		case trace.KindInstr:
 			kernel := e.layout.Component(it.Comp).Kernel
 			th.mode = kernel
+			var base0 uint64
+			if th.span != nil {
+				base0 = core.Counters.BaseCycles
+			}
 			cy := core.ExecInstr(it.Comp, uint64(it.N), t)
+			if th.span != nil {
+				// Split the segment the way the core accounted it: retired
+				// work is CPU, fetch stalls are memory time.
+				base := core.Counters.BaseCycles - base0
+				if base > cy {
+					base = cy
+				}
+				th.span.AddSplit(base, cy-base)
+			}
 			e.chargeBusy(c, kernel, cy)
 			t += cy
 			th.idx++
 
 		case trace.KindRead:
 			cy := core.Load(it.Addr, uint64(it.N), t)
+			th.span.Add(reqtrace.PhaseMemStall, cy)
 			e.chargeBusy(c, th.mode, cy)
 			t += cy
 			th.idx++
 
 		case trace.KindWrite:
 			cy := core.Store(it.Addr, uint64(it.N), t)
+			th.span.Add(reqtrace.PhaseMemStall, cy)
 			e.chargeBusy(c, th.mode, cy)
 			t += cy
 			th.idx++
@@ -677,6 +717,7 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 			if it.Aux == 1 {
 				ls.spin = true
 				e.chargeBusy(c, th.mode, e.cfg.SpinCycles)
+				th.span.Add(reqtrace.PhaseLockWait, e.cfg.SpinCycles)
 				t += e.cfg.SpinCycles
 			}
 			e.lockBlocks++
@@ -710,6 +751,7 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 				// observed "before" the block is a zero wait.
 				if grant > next.lockBlockedAt {
 					e.lockWaitCycles += grant - next.lockBlockedAt
+					next.span.Add(reqtrace.PhaseLockWait, grant-next.lockBlockedAt)
 					if ls.spin {
 						e.waitSpin += grant - next.lockBlockedAt
 					} else {
@@ -766,6 +808,7 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 				grant := t + e.cfg.MonitorHandoff
 				if grant > next.lockBlockedAt {
 					e.lockWaitCycles += grant - next.lockBlockedAt
+					next.span.Add(reqtrace.PhaseLockWait, grant-next.lockBlockedAt)
 					e.waitSem += grant - next.lockBlockedAt
 					if e.tracer.Enabled(obs.CompOS) {
 						e.tracer.Span(obs.CompOS, "lock.wait", threadTrackBase+next.id,
@@ -788,13 +831,27 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 			th.quantumLeft = 0
 			e.ioBlocked++
 			if e.net.External(it.Peer) {
-				// Co-simulated peer: the coordinator wakes us.
+				// Co-simulated peer: the coordinator wakes us. The whole
+				// round trip lands in the span's net phase at wake time;
+				// the remote breakdown belongs to the peer machine's own
+				// collector.
+				th.extFrom = t
 				if e.OnExternalCall == nil {
 					panic("osmodel: external peer with no coordinator attached")
 				}
 				e.OnExternalCall(th.id, it.Peer, uint32(it.ID), it.Aux, t)
 			} else {
-				done := e.net.RoundTrip(it.Peer, t, uint32(it.ID), it.Aux)
+				done, det := e.net.RoundTripDetail(it.Peer, t, uint32(it.ID), it.Aux)
+				if th.span != nil {
+					rtt := done - t
+					remote := det.Queue + det.Service
+					if remote > rtt {
+						remote = rtt
+					}
+					th.span.Add(reqtrace.PhaseNet, rtt-remote)
+					th.span.Add(reqtrace.PhaseDBQueue, det.Queue)
+					th.span.Add(reqtrace.PhaseDBService, det.Service)
+				}
 				if e.tracer.Enabled(obs.CompNet) {
 					e.tracer.Span(obs.CompNet, "net.call", threadTrackBase+th.id, t, done,
 						obs.Arg{Key: "peer", Val: uint64(it.Peer)},
@@ -811,6 +868,7 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 			th.idx++
 			th.state = stSleeping
 			th.quantumLeft = 0
+			th.span.Add(reqtrace.PhaseThink, uint64(it.N))
 			e.wakeAt(th, t+uint64(it.N))
 			e.freeAt[c] = t
 			return
@@ -949,6 +1007,18 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 	e.gcWall += stwEnd - stwStart
 	e.gcCount++
 	e.gcPauses.Add(stwEnd - stwStart)
+	if e.rt != nil {
+		// The pause freezes the whole machine: nothing dispatches before
+		// stwEnd, so every request in flight absorbs the full pause. That is
+		// the jvm.gc.pause charge — overlap, not a disjoint slice, since a
+		// request blocked on a remote tier is stalled by the pause and the
+		// wire at once.
+		pause := stwEnd - stwStart
+		e.rt.RecordGCPause(pause)
+		for _, oth := range e.threads {
+			oth.span.Add(reqtrace.PhaseGC, pause)
+		}
+	}
 	if e.prof != nil {
 		e.prof.SetPhase(prevPhase)
 	}
@@ -981,6 +1051,9 @@ func (e *Engine) WakeExternal(tid int, at uint64) {
 	th := e.threads[tid]
 	if th.state != stBlockedIO {
 		panic("osmodel: WakeExternal on a thread that is not waiting externally")
+	}
+	if th.span != nil && at > th.extFrom {
+		th.span.Add(reqtrace.PhaseNet, at-th.extFrom)
 	}
 	e.wakeAt(th, at)
 }
@@ -1018,6 +1091,11 @@ func (e *Engine) ResetStats() {
 	e.lockBlocks = 0
 	e.lockAcquires = 0
 	e.waitMon, e.waitSpin, e.waitSem = 0, 0, 0
+	// Latency spans reset with everything else: completed spans are dropped
+	// and the time series re-anchors at the boundary. In-flight spans stay
+	// open and complete into the fresh window, exactly like opsByTag counts
+	// boundary-spanning operations at completion time.
+	e.rt.Reset(e.Now())
 }
 
 // Results summarizes the measurement window (since the last ResetStats).

@@ -1,0 +1,153 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
+)
+
+// latMS converts simulated cycles to milliseconds for latency tables.
+func latMS(cy uint64) float64 { return float64(cy) / (obs.CyclesPerMicrosecond * 1e3) }
+
+// LatencySummary renders a request-latency/SLO report as fixed-width text:
+// per-class quantiles, the phase decomposition of where each class's time
+// went, the per-interval p99 time series, and the SLO verdicts. It is the
+// human-readable companion to the -latency JSON artifact.
+func LatencySummary(w io.Writer, r *reqtrace.Report) {
+	if r == nil || len(r.Classes) == 0 {
+		fmt.Fprintln(w, "Request latency — no completed requests recorded")
+		return
+	}
+
+	var total uint64
+	for _, c := range r.Classes {
+		total += c.Latency.Count
+	}
+	fmt.Fprintf(w, "Request latency — %d requests in %d classes, %.1f ms intervals\n",
+		total, len(r.Classes), latMS(r.IntervalCycles))
+	if gc := r.GCPause; gc.Count > 0 {
+		fmt.Fprintf(w, "jvm gc pauses: %d, p50 %.2f ms, p99 %.2f ms, max %.2f ms (charged to in-flight requests)\n",
+			gc.Count, latMS(gc.P50), latMS(gc.P99), latMS(gc.Max))
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-18s | %8s | %8s | %8s | %8s | %8s | %8s | %8s\n",
+		"class", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "p99.9 ms", "max ms")
+	fmt.Fprintln(w, strings.Repeat("-", 102))
+	for _, c := range r.Classes {
+		name := c.Class
+		if c.Error {
+			name += " (err)"
+		}
+		fmt.Fprintf(w, "%-18s | %8d | %8.2f | %8.2f | %8.2f | %8.2f | %8.2f | %8.2f\n",
+			trunc(name, 18), c.Latency.Count, c.Latency.Mean/(obs.CyclesPerMicrosecond*1e3),
+			latMS(c.Latency.P50), latMS(c.Latency.P95), latMS(c.Latency.P99),
+			latMS(c.Latency.P999), latMS(c.Latency.Max))
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "phase share of class latency (% of attributed cycles; gc overlaps the rest):")
+	fmt.Fprintf(w, "%-18s | %5s | %5s | %5s | %5s | %5s | %5s | %5s | %5s | %5s\n",
+		"class", "cpu", "mem", "lock", "net", "dbq", "dbsvc", "gc", "think", "sched")
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+	for _, c := range r.Classes {
+		p := c.Phases
+		parts := []uint64{p.CPU, p.MemStall, p.LockWait, p.Net, p.DBQueue, p.DBService, p.GCPause, p.Think, p.Sched}
+		var sum uint64
+		for _, v := range parts {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-18s", trunc(c.Class, 18))
+		for _, v := range parts {
+			fmt.Fprintf(w, " | %4.1f%%", 100*float64(v)/float64(sum))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// The time series as a p99 matrix, intervals down and the busiest
+	// business classes across — degradation windows read as a vertical band.
+	if len(r.Intervals) > 1 {
+		cols := latencyColumns(r, 6)
+		if len(cols) > 0 {
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "p99 per interval (ms):")
+			fmt.Fprintf(w, "%9s", "start ms")
+			for _, c := range cols {
+				fmt.Fprintf(w, " | %12s", trunc(c, 12))
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, strings.Repeat("-", 9+15*len(cols)))
+			for _, iv := range r.Intervals {
+				fmt.Fprintf(w, "%9.1f", latMS(iv.StartCycle-r.OriginCycle))
+				byClass := make(map[string]reqtrace.IntervalClass, len(iv.Classes))
+				for _, ic := range iv.Classes {
+					byClass[ic.Class] = ic
+				}
+				for _, c := range cols {
+					if ic, ok := byClass[c]; ok && ic.Count > 0 {
+						fmt.Fprintf(w, " | %12.2f", latMS(ic.P99))
+					} else {
+						fmt.Fprintf(w, " | %12s", "-")
+					}
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+
+	if len(r.SLO) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "SLO objectives (burn = bad fraction / error budget; <=1 holds):")
+		fmt.Fprintf(w, "%-26s | %10s | %8s | %11s | %10s | %s\n",
+			"objective", "requests", "bad", "budget burn", "violations", "verdict")
+		fmt.Fprintln(w, strings.Repeat("-", 92))
+		for _, s := range r.SLO {
+			verdict := "met"
+			if !s.Met {
+				verdict = fmt.Sprintf("VIOLATED (worst interval %d at %.1fx)", s.WorstInterval, s.WorstBurn)
+			} else if s.Violations > 0 {
+				verdict = fmt.Sprintf("met overall (worst interval %d at %.1fx)", s.WorstInterval, s.WorstBurn)
+			}
+			fmt.Fprintf(w, "%-26s | %10d | %8d | %10.2fx | %10d | %s\n",
+				trunc(s.Objective.Spec, 26), s.Requests, s.Bad, s.BudgetBurn, s.Violations, verdict)
+		}
+	}
+}
+
+// latencyColumns picks the top-n busiest non-error classes for the interval
+// matrix, returned in name order so the table layout is deterministic.
+func latencyColumns(r *reqtrace.Report, n int) []string {
+	type cc struct {
+		name  string
+		count uint64
+	}
+	var all []cc
+	for _, c := range r.Classes {
+		if c.Error || c.Latency.Count == 0 {
+			continue
+		}
+		all = append(all, cc{c.Class, c.Latency.Count})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].name < all[j].name
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	names := make([]string, len(all))
+	for i, c := range all {
+		names[i] = c.name
+	}
+	sort.Strings(names)
+	return names
+}
