@@ -6,25 +6,76 @@
 // Usage:
 //
 //	ablations [-quick] [-which ism|gc|latency|protocol|volano|cosim]
+//	          [-memmodel fixed|loaded]
+//	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	          [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
+//	          [-latency FILE] [-slo SPEC] [-latency-interval cycles]
+//
+// The observability flags additionally run one fully-observed point per
+// workload (the study's processor count and seed) after the studies, the
+// same semantics as cmd/figures: artifacts land next to the study output
+// with a reproducibility manifest beside each file.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	quick    *bool
+	which    *string
+	memmodel *string
+	ofl      obs.Flags
+	hp       obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		quick:    fs.Bool("quick", false, "reduced runs"),
+		which:    fs.String("which", "", "run one study (ism, gc, latency, protocol, volano, cosim)"),
+		memmodel: fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "reduced runs")
-	which := flag.String("which", "", "run one study (ism, gc, latency, protocol)")
+	af := registerFlags(flag.CommandLine)
 	flag.Parse()
+	quick, which, ofl, hp := af.quick, af.which, &af.ofl, &af.hp
+	memModel, err := memsys.ParseMemModel(*af.memmodel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablations:", err)
+		os.Exit(2)
+	}
+
+	if err := hp.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hp.Stop()
 
 	o := core.DefaultAblationOpts()
 	if *quick {
 		o = core.QuickAblationOpts()
 	}
+	o.MemModel = memModel
+
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "ablations", ofl.Heartbeat)
+	defer hb.Stop()
+
 	want := func(n string) bool { return *which == "" || *which == n }
 	if want("ism") {
 		report.Render(os.Stdout, core.AblationISM(o))
@@ -43,5 +94,60 @@ func main() {
 	}
 	if want("cosim") {
 		report.Render(os.Stdout, core.CoSimExperiment(o))
+	}
+
+	if ofl.Enabled() {
+		// One fully-observed point per workload at the studies' shape, the
+		// same semantics as cmd/figures' observed runs.
+		runOpts := core.Opts{
+			WarmupCycles:  o.WarmupCycles,
+			MeasureCycles: o.MeasureCycles,
+			MemModel:      o.MemModel,
+		}
+		var insp *obs.Inspector
+		if ofl.Inspect != "" {
+			var err error
+			insp, err = obs.StartInspector(ofl.Inspect, "ablations", hb)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "starting inspector: %v\n", err)
+				os.Exit(1)
+			}
+			defer insp.Close()
+			fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+		}
+		var observers []*obs.Observer
+		var snaps []*obs.Snapshot
+		var labels []string
+		for i, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
+			fmt.Fprintf(os.Stderr, "observed run: %s, %d processors, seed %d...\n", kind, o.Processors, o.Seed)
+			ob := ofl.NewObserver(i)
+			ob.Inspect = insp
+			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, o.Processors))
+			rt, err := core.NewLatencyCollector(ofl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablations:", err)
+				os.Exit(1)
+			}
+			_, snap := core.RunObservedPointLatency(kind, o.Processors, o.Seed, runOpts, ob, rt)
+			observers = append(observers, ob)
+			snaps = append(snaps, snap)
+			labels = append(labels, kind.String())
+		}
+		m := &obs.Manifest{
+			Command: "ablations",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{o.Seed},
+			Opts: map[string]any{
+				"ablation": o,
+				"observed": map[string]any{"processors": o.Processors, "seed": o.Seed},
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts(labels, observers, snaps, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

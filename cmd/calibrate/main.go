@@ -3,25 +3,79 @@
 // address region, lock-wait breakdown by lock class, and remote-tier
 // utilization. It is the tool the simulator's parameters were tuned with;
 // keep it around — every recalibration starts here.
+//
+// Usage:
+//
+//	calibrate [-measure cycles] [-seed N] [-memmodel fixed|loaded]
+//	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
+//	          [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
+//	          [-latency FILE] [-slo SPEC] [-latency-interval cycles]
+//
+// The observability flags additionally run one fully-observed point per
+// workload (the largest processor count in the sweep) after the diagnostic
+// table, the same semantics as cmd/figures.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/obs"
 )
 
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	measure  *uint64
+	seed     *uint64
+	memmodel *string
+	ofl      obs.Flags
+	hp       obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		measure:  fs.Uint64("measure", 30_000_000, "measurement window in cycles"),
+		seed:     fs.Uint64("seed", 1, "simulation seed"),
+		memmodel: fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
 func main() {
-	measure := flag.Uint64("measure", 30_000_000, "measurement window in cycles")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	af := registerFlags(flag.CommandLine)
 	flag.Parse()
+	measure, seed, ofl, hp := af.measure, af.seed, &af.ofl, &af.hp
+	memModel, err := memsys.ParseMemModel(*af.memmodel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(2)
+	}
+
+	if err := hp.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer hp.Stop()
 
 	o := core.QuickOpts()
 	o.MeasureCycles = *measure
+	o.MemModel = memModel
+
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "calibrate", ofl.Heartbeat)
+	defer hb.Stop()
+	o.Progress = hb
+
+	procs := []int{1, 2, 4, 8, 12, 15}
 	for _, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
-		for _, p := range []int{1, 2, 4, 8, 12, 15} {
+		for _, p := range procs {
 			t0 := time.Now()
 			pt := core.RunScalingPointDebug(kind, p, *seed, o)
 			fmt.Printf("%-8s P=%-2d thr=%8.0f cpi=%.2f(o=%.2f i=%.2f d=%.2f) u=%.2f s=%.2f io=%.2f id=%.2f gci=%.2f c2c=%.2f gc=%d gcf=%.3f i/op=%.0f\n  %s [%s]\n",
@@ -29,6 +83,59 @@ func main() {
 				pt.UserFrac, pt.SystemFrac, pt.IOFrac, pt.IdleFrac, pt.GCIdleFrac,
 				pt.C2CRatio, pt.GCCount, pt.GCWallFrac, pt.InstrPerOp, pt.Debug,
 				time.Since(t0).Round(time.Millisecond))
+		}
+	}
+
+	if ofl.Enabled() {
+		// One fully-observed point per workload at the largest sweep shape,
+		// the same semantics as cmd/figures' observed runs.
+		obsProcs := procs[len(procs)-1]
+		var insp *obs.Inspector
+		if ofl.Inspect != "" {
+			var err error
+			insp, err = obs.StartInspector(ofl.Inspect, "calibrate", hb)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "starting inspector: %v\n", err)
+				os.Exit(1)
+			}
+			defer insp.Close()
+			fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+		}
+		var observers []*obs.Observer
+		var snaps []*obs.Snapshot
+		var labels []string
+		for i, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
+			fmt.Fprintf(os.Stderr, "observed run: %s, %d processors, seed %d...\n", kind, obsProcs, *seed)
+			ob := ofl.NewObserver(i)
+			ob.Inspect = insp
+			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, obsProcs))
+			rt, err := core.NewLatencyCollector(ofl)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "calibrate:", err)
+				os.Exit(1)
+			}
+			_, snap := core.RunObservedPointLatency(kind, obsProcs, *seed, o, ob, rt)
+			observers = append(observers, ob)
+			snaps = append(snaps, snap)
+			labels = append(labels, kind.String())
+		}
+		manifestOpts := o
+		manifestOpts.Progress = nil
+		m := &obs.Manifest{
+			Command: "calibrate",
+			Args:    os.Args[1:],
+			Git:     obs.GitDescribe(),
+			Started: start,
+			Seeds:   []uint64{*seed},
+			Opts: map[string]any{
+				"sweep":    manifestOpts,
+				"observed": map[string]any{"processors": obsProcs, "seed": *seed},
+			},
+			WallSeconds: time.Since(start).Seconds(),
+		}
+		if err := ofl.WriteArtifacts(labels, observers, snaps, m); err != nil {
+			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ecperfsim [-p processors] [-oir rate] [-seed N] [-measure cycles]
+//	          [-memmodel fixed|loaded]
 //	          [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	          [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //	          [-latency FILE] [-slo SPEC] [-latency-interval cycles]
@@ -41,29 +42,60 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/obs/reqtrace"
 	"repro/internal/report"
 )
 
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	procs, oir            *int
+	seed, warmup, measure *uint64
+	faults                *string
+	faultBin              *uint64
+	faultReport           *string
+	watchdog              *uint64
+	ckptPath, resume      *string
+	ckptEvery             *uint64
+	memmodel              *string
+	ofl                   obs.Flags
+	hp                    obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		procs:       fs.Int("p", 8, "processor-set size on the app server (1-16)"),
+		oir:         fs.Int("oir", 10, "orders injection rate (scale factor)"),
+		seed:        fs.Uint64("seed", 20030208, "simulation seed"),
+		warmup:      fs.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)"),
+		measure:     fs.Uint64("measure", 50_000_000, "measurement window in cycles"),
+		faults:      fs.String("faults", "", "fault schedule JSON file, or \"demo\" for the built-in schedule"),
+		faultBin:    fs.Uint64("fault-bin", 4_000_000, "throughput sampling bin for -faults, in cycles"),
+		faultReport: fs.String("fault-report", "", "also write the -faults figure (markdown) to FILE"),
+		watchdog:    fs.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)"),
+		ckptPath:    fs.String("checkpoint", "", "write a resumable checkpoint to FILE"),
+		ckptEvery:   fs.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)"),
+		resume:      fs.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)"),
+		memmodel:    fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
 func main() {
-	procs := flag.Int("p", 8, "processor-set size on the app server (1-16)")
-	oir := flag.Int("oir", 10, "orders injection rate (scale factor)")
-	seed := flag.Uint64("seed", 20030208, "simulation seed")
-	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
-	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
-	faults := flag.String("faults", "", "fault schedule JSON file, or \"demo\" for the built-in schedule")
-	faultBin := flag.Uint64("fault-bin", 4_000_000, "throughput sampling bin for -faults, in cycles")
-	faultReport := flag.String("fault-report", "", "also write the -faults figure (markdown) to FILE")
-	watchdog := flag.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)")
-	ckptPath := flag.String("checkpoint", "", "write a resumable checkpoint to FILE")
-	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)")
-	resume := flag.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)")
-	var ofl obs.Flags
-	ofl.Register(flag.CommandLine)
-	var hp obs.HostProfile
-	hp.Register(flag.CommandLine)
+	af := registerFlags(flag.CommandLine)
 	flag.Parse()
+	procs, oir, seed, warmup, measure := af.procs, af.oir, af.seed, af.warmup, af.measure
+	faults, faultBin, faultReport := af.faults, af.faultBin, af.faultReport
+	watchdog, ckptPath, ckptEvery, resume := af.watchdog, af.ckptPath, af.ckptEvery, af.resume
+	ofl, hp := &af.ofl, &af.hp
+	memModel, err := memsys.ParseMemModel(*af.memmodel)
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := hp.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,7 +107,7 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
-	rt, err := core.NewLatencyCollector(&ofl)
+	rt, err := core.NewLatencyCollector(ofl)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,7 +132,7 @@ func main() {
 	}
 
 	if *faults != "" {
-		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, ob, rt, hb, &ofl, start)
+		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, memModel, ob, rt, hb, ofl, start)
 		return
 	}
 
@@ -128,6 +160,7 @@ func main() {
 			Scale:          *oir,
 			Seed:           *seed,
 			WatchdogCycles: *watchdog,
+			MemModel:       memModel,
 		})
 		core.AttachLatency(sys, ob, rt)
 		var err error
@@ -179,6 +212,11 @@ func main() {
 	bs := sys.Hier.Bus().Stats
 	fmt.Printf("bus: c2c ratio %.1f%% (%d transfers, %d from memory)\n",
 		100*bs.C2CRatio(), bs.C2CTransfers, bs.MemTransfers)
+	if ls, ok := sys.Hier.LoadSnapshot(); ok {
+		// Only under -memmodel loaded, keeping fixed-mode stdout byte-stable.
+		fmt.Printf("memmodel loaded: util %.2f  mem x%.2f  c2c x%.2f  extra stall %d cycles  interventions %d\n",
+			ls.Util, ls.MemMult, ls.C2CMult, ls.MemExtraCycles+ls.C2CExtraCycles, ls.Interventions)
+	}
 	fmt.Printf("object cache: hit ratio %.1f%% (%d entries)\n",
 		100*sys.EC.Cache().HitRatio(), sys.EC.Cache().Len())
 	if sys.DB != nil {
@@ -221,7 +259,7 @@ func main() {
 // runFaultExperiment is the -faults mode: a paired clean/faulted measurement
 // rendered as the throughput-under-fault curve. rt, when non-nil, collects
 // request latency on the faulted run.
-func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, ob *obs.Observer, rt *reqtrace.Collector, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
+func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, memModel memsys.MemModel, ob *obs.Observer, rt *reqtrace.Collector, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
 	var sched *fault.Schedule
 	if spec == "demo" {
 		sched = fault.Demo(warmup, measure)
@@ -240,6 +278,7 @@ func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint6
 	o := core.FaultRunOpts{
 		Processors:    procs,
 		Seed:          seed,
+		MemModel:      memModel,
 		Schedule:      sched,
 		WarmupCycles:  warmup,
 		MeasureCycles: measure,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-quick] [-seeds K]
+//	figures [-fig N] [-quick] [-seeds K] [-memmodel fixed|loaded]
 //	        [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	        [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //
@@ -29,21 +29,47 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
 
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	fig      *int
+	quick    *bool
+	seeds    *int
+	md       *bool
+	memmodel *string
+	ofl      obs.Flags
+	hp       obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		fig:      fs.Int("fig", 0, "figure number to regenerate (0 = all)"),
+		quick:    fs.Bool("quick", false, "reduced runs (single seed, short windows)"),
+		seeds:    fs.Int("seeds", 0, "override the number of seeds"),
+		md:       fs.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots"),
+		memmodel: fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
 func main() {
-	fig := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
-	quick := flag.Bool("quick", false, "reduced runs (single seed, short windows)")
-	seeds := flag.Int("seeds", 0, "override the number of seeds")
-	md := flag.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots")
-	var ofl obs.Flags
-	ofl.Register(flag.CommandLine)
-	var hp obs.HostProfile
-	hp.Register(flag.CommandLine)
+	af := registerFlags(flag.CommandLine)
 	flag.Parse()
+	fig, quick, seeds, md := af.fig, af.quick, af.seeds, af.md
+	ofl, hp := &af.ofl, &af.hp
+	memModel, err := memsys.ParseMemModel(*af.memmodel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 
 	if err := hp.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -67,6 +93,10 @@ func main() {
 		opts.Seeds = stats.Seeds(20030208, *seeds)
 		sharedOpts.Seeds = opts.Seeds
 	}
+	// The memory model only affects the timing simulations (the scaling
+	// sweeps and observed points); the uniprocessor cache sweeps (Figures
+	// 12/13) count misses, not cycles.
+	opts.MemModel = memModel
 
 	hb := obs.StartHeartbeat(os.Stderr, "figures", ofl.Heartbeat)
 	defer hb.Stop()
@@ -182,7 +212,7 @@ func main() {
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, procs))
 			// Each observed run gets its own latency collector; the -latency
 			// artifact keys the reports by workload label.
-			rt, err := core.NewLatencyCollector(&ofl)
+			rt, err := core.NewLatencyCollector(ofl)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "figures:", err)
 				os.Exit(1)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	jbbsim [-p processors] [-w warehouses] [-seed N] [-measure cycles]
+//	       [-memmodel fixed|loaded]
 //	       [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	       [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //	       [-latency FILE] [-slo SPEC] [-latency-interval cycles]
@@ -27,25 +28,52 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
 
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	procs, whs            *int
+	seed, warmup, measure *uint64
+	watchdog              *uint64
+	ckptPath, resume      *string
+	ckptEvery             *uint64
+	memmodel              *string
+	ofl                   obs.Flags
+	hp                    obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		procs:     fs.Int("p", 8, "processor-set size (1-16)"),
+		whs:       fs.Int("w", 0, "warehouses (0 = processors, the tuned value)"),
+		seed:      fs.Uint64("seed", 20030208, "simulation seed"),
+		warmup:    fs.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)"),
+		measure:   fs.Uint64("measure", 50_000_000, "measurement window in cycles"),
+		watchdog:  fs.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)"),
+		ckptPath:  fs.String("checkpoint", "", "write a resumable checkpoint to FILE"),
+		ckptEvery: fs.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)"),
+		resume:    fs.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)"),
+		memmodel:  fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
 func main() {
-	procs := flag.Int("p", 8, "processor-set size (1-16)")
-	whs := flag.Int("w", 0, "warehouses (0 = processors, the tuned value)")
-	seed := flag.Uint64("seed", 20030208, "simulation seed")
-	warmup := flag.Uint64("warmup", 12_000_000, "warm-up cycles (excluded)")
-	measure := flag.Uint64("measure", 50_000_000, "measurement window in cycles")
-	watchdog := flag.Uint64("watchdog", 0, "abort when the run makes no progress for N simulated cycles (0 = off)")
-	ckptPath := flag.String("checkpoint", "", "write a resumable checkpoint to FILE")
-	ckptEvery := flag.Uint64("checkpoint-every", 0, "checkpoint cadence in cycles (0 = only at the end)")
-	resume := flag.String("resume", "", "resume from checkpoint FILE (run parameters come from the checkpoint)")
-	var ofl obs.Flags
-	ofl.Register(flag.CommandLine)
-	var hp obs.HostProfile
-	hp.Register(flag.CommandLine)
+	af := registerFlags(flag.CommandLine)
 	flag.Parse()
+	procs, whs, seed, warmup, measure := af.procs, af.whs, af.seed, af.warmup, af.measure
+	watchdog, ckptPath, ckptEvery, resume := af.watchdog, af.ckptPath, af.ckptEvery, af.resume
+	ofl, hp := &af.ofl, &af.hp
+	memModel, err := memsys.ParseMemModel(*af.memmodel)
+	if err != nil {
+		fatal(err)
+	}
 
 	if err := hp.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -57,7 +85,7 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
-	rt, err := core.NewLatencyCollector(&ofl)
+	rt, err := core.NewLatencyCollector(ofl)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +133,7 @@ func main() {
 			Scale:          *whs,
 			Seed:           *seed,
 			WatchdogCycles: *watchdog,
+			MemModel:       memModel,
 		})
 		core.AttachLatency(sys, ob, rt)
 		var err error
@@ -149,6 +178,11 @@ func main() {
 	bs := sys.Hier.Bus().Stats
 	fmt.Printf("bus: GetS %d  GetM %d  upgrades %d  c2c %d (ratio %.1f%%)  memory %d  writebacks %d\n",
 		bs.GetS, bs.GetM, bs.Upgrades, bs.C2CTransfers, 100*bs.C2CRatio(), bs.MemTransfers, bs.Writebacks)
+	if ls, ok := sys.Hier.LoadSnapshot(); ok {
+		// Only under -memmodel loaded, keeping fixed-mode stdout byte-stable.
+		fmt.Printf("memmodel loaded: util %.2f  mem x%.2f  c2c x%.2f  extra stall %d cycles  interventions %d\n",
+			ls.Util, ls.MemMult, ls.C2CMult, ls.MemExtraCycles+ls.C2CExtraCycles, ls.Interventions)
+	}
 	fmt.Printf("gc: %d collections, %.1f%% of wall time; heap live %0.1f MB\n",
 		res.GCCount, 100*float64(res.GCWall)/float64(*measure),
 		float64(sys.Heap.Stats.LiveAfterLastGC)/(1<<20))

@@ -181,6 +181,12 @@ type Bus struct {
 	// compare per transaction.
 	Attr *attr.Collector
 
+	// Load, when non-nil, records every data-moving transaction (GetS and
+	// GetM) into a sliding utilization window for the loaded-latency memory
+	// model (see busload.go). Off (nil) costs one pointer compare per
+	// transaction, like Attr.
+	Load *LoadTracker
+
 	// Sanitize re-checks the protocol's cross-cache invariants after every
 	// transaction and panics on the first violation (see sanitize.go). Off
 	// by default; COHERENCE_SANITIZE=1 enables it process-wide for CI.
@@ -380,11 +386,19 @@ func (n *Node) Read(addr mem.Addr, now uint64) Source {
 			}
 		}
 	}
+	if src == SrcMemory && anyCopy && n.bus.Load != nil && n.bus.Load.Intervene() {
+		// Loaded model only: a clean remote copy supplies the line instead
+		// of the congested memory controller (cache intervention under load).
+		src = SrcCache
+	}
 	if src == SrcCache {
 		n.bus.recordC2C(ba, now)
 	} else {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
+	}
+	if n.bus.Load != nil {
+		n.bus.Load.Record(now, false)
 	}
 	if n.bus.Attr != nil {
 		n.bus.Attr.RecordGetS(ba, n.id, src == SrcCache)
@@ -479,6 +493,7 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	// Bus GetM (read-for-ownership).
 	n.bus.Stats.GetM++
 	src := SrcMemory
+	anyCopy := false
 	if n.bus.filter != nil {
 		if p := n.bus.filter.lookup(ba); p != nil {
 			// Invalidate exactly the recorded sharers, in ascending node
@@ -488,6 +503,7 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 			for m := *p & fMaskBits &^ (1 << uint(n.id)); m != 0; m &= m - 1 {
 				other := n.bus.nodes[bits.TrailingZeros64(m)]
 				if wasDirty, present := other.l2.Invalidate(ba); present {
+					anyCopy = true
 					if wasDirty {
 						src = SrcCache
 					}
@@ -510,6 +526,7 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 				continue
 			}
 			if l := other.l2.Probe(ba); l != nil {
+				anyCopy = true
 				if l.State == Modified || l.State == Owned {
 					src = SrcCache
 				}
@@ -522,11 +539,19 @@ func (n *Node) Write(addr mem.Addr, now uint64) Source {
 			}
 		}
 	}
+	if src == SrcMemory && anyCopy && n.bus.Load != nil && n.bus.Load.Intervene() {
+		// Loaded model only: the dying clean copy forwards the line on its
+		// invalidation snoop instead of waiting on the congested controller.
+		src = SrcCache
+	}
 	if src == SrcCache {
 		n.bus.recordC2C(ba, now)
 	} else {
 		n.bus.Stats.MemTransfers++
 		n.bus.classifyMem(ba)
+	}
+	if n.bus.Load != nil {
+		n.bus.Load.Record(now, true)
 	}
 	if n.bus.Attr != nil {
 		n.bus.Attr.RecordGetM(ba, n.id, src == SrcCache)

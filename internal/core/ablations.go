@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coherence"
+	"repro/internal/memsys"
 )
 
 // This file holds the ablation studies DESIGN.md calls out: experiments the
@@ -29,6 +30,9 @@ type AblationOpts struct {
 	Seed          uint64
 	WarmupCycles  uint64
 	MeasureCycles uint64
+	// MemModel selects the memory timing model for every study run
+	// (default memsys.MemFixed).
+	MemModel memsys.MemModel
 }
 
 // DefaultAblationOpts is the full-fidelity configuration.
@@ -44,6 +48,7 @@ func QuickAblationOpts() AblationOpts {
 // ablationPoint runs one configured system and returns (throughput ops/s,
 // CPI, the built system for extra metrics).
 func ablationPoint(params SystemParams, o AblationOpts) (float64, ScalingPoint, *System) {
+	params.MemModel = o.MemModel
 	sys := BuildSystem(params)
 	eng := sys.Engine
 	eng.Run(o.WarmupCycles)
@@ -175,7 +180,7 @@ func RelatedWorkKernelTime(o AblationOpts) Figure {
 	}
 	s := Series{Label: "system %"}
 	for i, kind := range []Kind{SPECjbb, ECperf, VolanoMark} {
-		sys := BuildSystem(SystemParams{Kind: kind, Processors: o.Processors, Seed: o.Seed})
+		sys := BuildSystem(SystemParams{Kind: kind, Processors: o.Processors, Seed: o.Seed, MemModel: o.MemModel})
 		eng := sys.Engine
 		eng.Run(o.WarmupCycles)
 		eng.ResetStats()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/appserver"
 	"repro/internal/fault"
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/obs/reqtrace"
 )
@@ -17,8 +18,11 @@ import (
 // Schedule timestamps are absolute simulated cycles, so windows meant to hit
 // the measurement interval must be placed after WarmupCycles.
 type FaultRunOpts struct {
-	Processors    int
-	Seed          uint64
+	Processors int
+	Seed       uint64
+	// MemModel selects the memory timing model for both runs of the pair
+	// (default memsys.MemFixed).
+	MemModel      memsys.MemModel
 	Schedule      *fault.Schedule
 	Policy        *fault.Policy // nil = fault.DefaultPolicy
 	WarmupCycles  uint64
@@ -136,11 +140,11 @@ func RunFaultExperiment(o FaultRunOpts) FaultRunResult {
 		res.BinStart = append(res.BinStart, t)
 	}
 
-	clean := BuildSystem(SystemParams{Kind: ECperf, Processors: o.Processors, Seed: o.Seed})
+	clean := BuildSystem(SystemParams{Kind: ECperf, Processors: o.Processors, Seed: o.Seed, MemModel: o.MemModel})
 	res.Baseline = binnedRun(clean, o)
 
 	faulted := BuildSystem(SystemParams{
-		Kind: ECperf, Processors: o.Processors, Seed: o.Seed,
+		Kind: ECperf, Processors: o.Processors, Seed: o.Seed, MemModel: o.MemModel,
 		FaultSchedule: o.Schedule, FaultPolicy: o.Policy,
 	})
 	AttachObserver(faulted, o.Observer)

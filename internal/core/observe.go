@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/mem"
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
 	"repro/internal/obs/reqtrace"
@@ -94,6 +95,20 @@ func registerMetrics(sys *System, r *obs.Registry) {
 	r.Counter("memsys.bus.mem", func() uint64 { return bus.Stats.MemTransfers })
 	r.Counter("memsys.bus.writeback", func() uint64 { return bus.Stats.Writebacks })
 	r.Counter("memsys.bus.inval", func() uint64 { return bus.Stats.Invalidations })
+
+	if hier.Model() == memsys.MemLoaded {
+		// Loaded-latency model: the live channel utilization and the latency
+		// multipliers it currently implies (gauges), plus the cumulative
+		// stall charged beyond the fixed model (counters — snapshot deltas
+		// give the per-interval cost of contention).
+		snap := func() memsys.LoadSnapshot { ls, _ := hier.LoadSnapshot(); return ls }
+		r.Gauge("memsys.loaded.util", func() float64 { return snap().Util })
+		r.Gauge("memsys.loaded.mem_mult", func() float64 { return snap().MemMult })
+		r.Gauge("memsys.loaded.c2c_mult", func() float64 { return snap().C2CMult })
+		r.Counter("memsys.loaded.mem_extra_cycles", func() uint64 { return snap().MemExtraCycles })
+		r.Counter("memsys.loaded.c2c_extra_cycles", func() uint64 { return snap().C2CExtraCycles })
+		r.Counter("memsys.loaded.interventions", func() uint64 { return snap().Interventions })
+	}
 
 	r.Counter("cpu.instructions", func() uint64 { return eng.Results().CPU.Instructions })
 	r.Counter("cpu.cycles.istall", func() uint64 { return eng.Results().CPU.IStallCycles })
@@ -190,6 +205,9 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 				p50, p99 := rt.LiveQuantiles()
 				hb.SetLatency(p50, p99)
 			}
+			if ls, ok := sys.Hier.LoadSnapshot(); ok {
+				hb.SetMemLoad(ls.Util, ls.MemMult)
+			}
 			if ob != nil && ob.Inspect != nil {
 				ob.Inspect.Publish(ob, inspectTopN, false)
 			}
@@ -261,7 +279,7 @@ func RunObservedPoint(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observe
 // collector re-anchors at the warm-up boundary with the rest of the stats,
 // so its report covers exactly the measurement window.
 func RunObservedPointLatency(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer, rt *reqtrace.Collector) (ScalingPoint, *obs.Snapshot) {
-	sys := BuildSystem(SystemParams{Kind: kind, Processors: procs, Seed: seed})
+	sys := BuildSystem(o.systemParams(kind, procs, seed))
 	AttachLatency(sys, ob, rt)
 	delta := ObserveRun(sys, ob, o.Progress, o.WarmupCycles, o.MeasureCycles)
 	return summarizePoint(sys, procs, seed, o), delta

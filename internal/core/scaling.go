@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -22,6 +23,11 @@ type Opts struct {
 	// Progress, when non-nil, is ticked once per completed run and credited
 	// with each run's simulated cycles — the sweep's liveness heartbeat.
 	Progress *obs.Heartbeat
+	// MemModel selects the memory timing model for every run in the sweep
+	// (default memsys.MemFixed); MemCurve optionally overrides the loaded
+	// model's parameters.
+	MemModel memsys.MemModel
+	MemCurve *memsys.LoadedConfig
 }
 
 // DefaultOpts is the full-fidelity configuration used by cmd/figures:
@@ -121,9 +127,17 @@ func RunScalingPointDebug(kind Kind, procs int, seed uint64, o Opts) ScalingPoin
 
 // runScalingPointDiag enables the address-class miss diagnostic.
 func runScalingPointDiag(kind Kind, procs int, seed uint64, o Opts) (ScalingPoint, *System) {
-	sys := BuildSystem(SystemParams{Kind: kind, Processors: procs, Seed: seed})
+	sys := BuildSystem(o.systemParams(kind, procs, seed))
 	sys.Hier.Bus().ClassifyAddr = regionClassifier(sys)
 	return measureScalingPoint(sys, procs, seed, o)
+}
+
+// systemParams builds one sweep run's parameters from the sweep options.
+func (o Opts) systemParams(kind Kind, procs int, seed uint64) SystemParams {
+	return SystemParams{
+		Kind: kind, Processors: procs, Seed: seed,
+		MemModel: o.MemModel, MemCurve: o.MemCurve,
+	}
 }
 
 // regionClassifier maps addresses to coarse region classes for the
@@ -155,7 +169,7 @@ func regionClassifier(sys *System) func(a uint64) int {
 }
 
 func runScalingPoint(kind Kind, procs int, seed uint64, o Opts) (ScalingPoint, *System) {
-	sys := BuildSystem(SystemParams{Kind: kind, Processors: procs, Seed: seed})
+	sys := BuildSystem(o.systemParams(kind, procs, seed))
 	return measureScalingPoint(sys, procs, seed, o)
 }
 

@@ -83,6 +83,14 @@ type SystemParams struct {
 	TotalCPUs int
 	Seed      uint64
 
+	// MemModel selects the memory timing model: memsys.MemFixed (the
+	// default, the unloaded E6000 scalars — bit-identical to the pre-model
+	// simulator) or memsys.MemLoaded (the bandwidth–latency curve).
+	MemModel memsys.MemModel
+	// MemCurve overrides the loaded model's curve parameters; nil uses
+	// memsys.DefaultLoadedConfig(). Ignored under MemFixed.
+	MemCurve *memsys.LoadedConfig
+
 	// Ablation knobs (zero values reproduce the paper's configuration).
 
 	// BasePages disables Solaris ISM: the data TLB runs 8 KB pages instead
@@ -215,6 +223,12 @@ func BuildSystem(p SystemParams) *System {
 	}
 	if p.C2CLatency != 0 {
 		mcfg.Lat.C2C = p.C2CLatency
+	}
+	if p.MemModel != memsys.MemFixed {
+		mcfg.Model = p.MemModel
+		if p.MemCurve != nil {
+			mcfg.Loaded = *p.MemCurve
+		}
 	}
 	hier := memsys.New(mcfg)
 	hier.Bus().Protocol = p.Protocol

@@ -9,7 +9,10 @@
 // processors out of a 16-CPU Simics trace.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Addr is a simulated physical byte address.
 type Addr = uint64
@@ -115,12 +118,15 @@ func (s *AddrSpace) Reserve(name string, size uint64) Region {
 // Regions returns all reserved regions in reservation order.
 func (s *AddrSpace) Regions() []Region { return s.regions }
 
-// FindRegion returns the region containing a, if any.
+// FindRegion returns the region containing a, if any. Reserve hands out
+// regions at strictly ascending bases, so the candidate is the last region
+// whose base is ≤ a — found by binary search. This sits on the per-miss
+// classification path (bus ClassifyAddr, attribution), where the old linear
+// scan was O(regions) per lookup.
 func (s *AddrSpace) FindRegion(a Addr) (Region, bool) {
-	for _, r := range s.regions {
-		if r.Contains(a) {
-			return r, true
-		}
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].Base > a })
+	if i > 0 && s.regions[i-1].Contains(a) {
+		return s.regions[i-1], true
 	}
 	return Region{}, false
 }

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -94,6 +95,79 @@ func TestAddrSpaceFindRegion(t *testing.T) {
 	}
 	if _, ok := s.FindRegion(0); ok {
 		t.Fatal("FindRegion matched address 0")
+	}
+}
+
+// TestFindRegionGaps exercises addresses in the alignment gaps between
+// regions: Reserve rounds each base up to the 4 MB boundary, so a region
+// whose size is not a multiple of regionAlign leaves a hole before the next
+// base. The binary search must reject hole addresses (the candidate region's
+// Contains check) rather than blaming the nearest region.
+func TestFindRegionGaps(t *testing.T) {
+	s := NewAddrSpace()
+	// Sizes chosen to leave gaps: none is a multiple of 4 MB.
+	regs := []Region{
+		s.Reserve("r0", 100),
+		s.Reserve("r1", 3<<20),
+		s.Reserve("r2", (4<<20)+1),
+		s.Reserve("r3", 64),
+	}
+	for i, r := range regs {
+		// Interior, first, and last byte all resolve to the region.
+		for _, a := range []Addr{r.Base, r.Base + r.Size/2, r.End() - 1} {
+			got, ok := s.FindRegion(a)
+			if !ok || got.Name != r.Name {
+				t.Fatalf("FindRegion(%#x) = %v,%v, want %s", a, got.Name, ok, r.Name)
+			}
+		}
+		// The gap between this region's end and the next 4 MB boundary
+		// belongs to nobody.
+		for _, a := range []Addr{r.End(), r.Base + (r.Size+regionAlign-1)&^(regionAlign-1) - 1} {
+			if a < r.End() {
+				continue // size was exactly aligned; no gap byte here
+			}
+			if got, ok := s.FindRegion(a); ok {
+				t.Fatalf("FindRegion(%#x) in gap after %s matched %s", a, r.Name, got.Name)
+			}
+		}
+		_ = i
+	}
+	// Below the first region and far past the last.
+	if _, ok := s.FindRegion(regionAlign - 1); ok {
+		t.Fatal("FindRegion matched below the first region")
+	}
+	if _, ok := s.FindRegion(regs[3].End() + 100*regionAlign); ok {
+		t.Fatal("FindRegion matched past the last region")
+	}
+}
+
+// TestFindRegionMatchesLinearScan cross-checks the binary search against the
+// obvious linear scan over a larger reservation set.
+func TestFindRegionMatchesLinearScan(t *testing.T) {
+	s := NewAddrSpace()
+	sizes := []uint64{100, 1 << 20, 3 << 20, (4 << 20) + 7, 64, 12<<20 + 1, 9, 2 << 20}
+	for i, sz := range sizes {
+		s.Reserve(fmt.Sprintf("r%d", i), sz)
+	}
+	linear := func(a Addr) (Region, bool) {
+		for _, r := range s.Regions() {
+			if r.Contains(a) {
+				return r, true
+			}
+		}
+		return Region{}, false
+	}
+	var probes []Addr
+	for _, r := range s.Regions() {
+		probes = append(probes, r.Base-1, r.Base, r.Base+1, r.Base+r.Size/2, r.End()-1, r.End(), r.End()+regionAlign/2)
+	}
+	probes = append(probes, 0, 1, regionAlign/2, s.Regions()[len(sizes)-1].End()+42*regionAlign)
+	for _, a := range probes {
+		wantR, wantOK := linear(a)
+		gotR, gotOK := s.FindRegion(a)
+		if gotOK != wantOK || gotR != wantR {
+			t.Fatalf("FindRegion(%#x) = %v,%v; linear scan says %v,%v", a, gotR, gotOK, wantR, wantOK)
+		}
 	}
 }
 

@@ -1,0 +1,316 @@
+package memsys
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func TestMemModelStringAndParse(t *testing.T) {
+	for _, c := range []struct {
+		m MemModel
+		s string
+	}{{MemFixed, "fixed"}, {MemLoaded, "loaded"}} {
+		if c.m.String() != c.s {
+			t.Fatalf("%d.String() = %q", c.m, c.m.String())
+		}
+		got, err := ParseMemModel(c.s)
+		if err != nil || got != c.m {
+			t.Fatalf("ParseMemModel(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := ParseMemModel("bogus"); err == nil {
+		t.Fatal("ParseMemModel accepted bogus")
+	}
+}
+
+func TestCurveLookup(t *testing.T) {
+	knots := []CurveKnot{{0, 1}, {0.5, 2}, {1, 6}}
+	cases := []struct{ u, want float64 }{
+		{-1, 1}, {0, 1}, {0.25, 1.5}, {0.5, 2}, {0.75, 4}, {1, 6}, {3, 6},
+	}
+	for _, c := range cases {
+		if got := curveLookup(knots, c.u); got != c.want {
+			t.Fatalf("curveLookup(%v) = %v, want %v", c.u, got, c.want)
+		}
+	}
+}
+
+// TestCurveLookupMonotone is the property test: for any valid (sorted,
+// non-decreasing) curve, the lookup is monotone non-decreasing in
+// utilization.
+func TestCurveLookupMonotone(t *testing.T) {
+	f := func(seed uint64, raw []uint16, a, b uint16) bool {
+		if len(raw) == 0 {
+			raw = []uint16{0}
+		}
+		// Build a valid curve from the fuzz input: cumulative utils,
+		// cumulative mults.
+		rng := simrand.New(seed)
+		knots := make([]CurveKnot, 0, len(raw))
+		u, m := 0.0, 1.0
+		for _, r := range raw {
+			knots = append(knots, CurveKnot{Util: u, Mult: m})
+			u += 0.01 + float64(r%100)/100
+			m += float64(r%7) / 10
+		}
+		cfg := LoadedConfig{MemCurve: knots, C2CCurve: knots}.withDefaults()
+		if err := cfg.Validate(); err != nil {
+			t.Logf("constructed curve invalid: %v", err)
+			return false
+		}
+		ua := float64(a) / 65536 * (u + 1)
+		ub := float64(b) / 65536 * (u + 1)
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		_ = rng
+		return curveLookup(knots, ua) <= curveLookup(knots, ub)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurveLookupDeterministic: identical inputs give identical outputs
+// across repeated evaluation orders (pure arithmetic, no hidden state).
+func TestCurveLookupDeterministic(t *testing.T) {
+	knots := DefaultLoadedConfig().MemCurve
+	rng := simrand.New(7)
+	us := make([]float64, 200)
+	for i := range us {
+		us[i] = rng.Float64() * 1.5
+	}
+	first := make([]float64, len(us))
+	for i, u := range us {
+		first[i] = curveLookup(knots, u)
+	}
+	for i := len(us) - 1; i >= 0; i-- {
+		if got := curveLookup(knots, us[i]); got != first[i] {
+			t.Fatalf("lookup(%v) changed across calls: %v vs %v", us[i], got, first[i])
+		}
+	}
+}
+
+func TestDefaultLoadedConfigValid(t *testing.T) {
+	if err := DefaultLoadedConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A bare loaded config picks up every default.
+	if err := (LoadedConfig{}).withDefaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadedConfigValidateRejects(t *testing.T) {
+	base := DefaultLoadedConfig()
+	cases := []struct {
+		name string
+		mut  func(*LoadedConfig)
+	}{
+		{"zero window", func(c *LoadedConfig) { c.WindowCycles = 0 }},
+		{"one bucket", func(c *LoadedConfig) { c.Buckets = 1 }},
+		{"window smaller than buckets", func(c *LoadedConfig) { c.WindowCycles = 3; c.Buckets = 8 }},
+		{"zero line cycles", func(c *LoadedConfig) { c.LineCycles = 0 }},
+		{"negative write weight", func(c *LoadedConfig) { c.WriteWeight = -1 }},
+		{"empty mem curve", func(c *LoadedConfig) { c.MemCurve = []CurveKnot{} }},
+		{"mult below 1", func(c *LoadedConfig) { c.MemCurve = []CurveKnot{{0, 0.5}} }},
+		{"negative util", func(c *LoadedConfig) { c.C2CCurve = []CurveKnot{{-0.1, 1}} }},
+		{"unsorted utils", func(c *LoadedConfig) { c.MemCurve = []CurveKnot{{0, 1}, {0.5, 2}, {0.4, 3}} }},
+		{"decreasing mults", func(c *LoadedConfig) { c.MemCurve = []CurveKnot{{0, 2}, {0.5, 1.5}} }},
+		{"zero intervention start", func(c *LoadedConfig) { c.InterventionStartUtil = -1 }},
+		{"intervention frac above 1", func(c *LoadedConfig) { c.InterventionMaxFrac = 1.5 }},
+	}
+	for _, c := range cases {
+		cfg := base
+		c.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWithDefaultsPreservesOverrides(t *testing.T) {
+	c := LoadedConfig{
+		WindowCycles:          4096,
+		LineCycles:            7,
+		InterventionStartUtil: 2, // disabled — must survive withDefaults
+	}.withDefaults()
+	if c.WindowCycles != 4096 || c.LineCycles != 7 || c.InterventionStartUtil != 2 {
+		t.Fatalf("withDefaults clobbered overrides: %+v", c)
+	}
+	d := DefaultLoadedConfig()
+	if c.Buckets != d.Buckets || c.WriteWeight != d.WriteWeight || c.InterventionMaxFrac != d.InterventionMaxFrac {
+		t.Fatalf("withDefaults did not fill unset fields: %+v", c)
+	}
+}
+
+// flatLoaded returns a loaded config whose curves are identically 1 and
+// whose intervention is disabled: the loaded machinery runs (tracker,
+// lookups) but must charge exactly the fixed latencies.
+func flatLoaded() LoadedConfig {
+	return LoadedConfig{
+		MemCurve:              []CurveKnot{{Util: 0, Mult: 1}},
+		C2CCurve:              []CurveKnot{{Util: 0, Mult: 1}},
+		InterventionStartUtil: 2,
+	}
+}
+
+// driveMix replays a deterministic sharing-heavy access mix and returns a
+// result signature.
+func driveMix(h *Hierarchy, seed uint64) string {
+	rng := simrand.New(seed)
+	var sig uint64
+	now := uint64(0)
+	for i := 0; i < 20_000; i++ {
+		cpu := rng.Intn(4)
+		addr := uint64(0x10000 + 64*rng.Intn(512))
+		now += uint64(rng.Intn(40))
+		var r Result
+		if rng.Bool(0.3) {
+			r = h.Write(cpu, addr, now)
+		} else {
+			r = h.Read(cpu, addr, now)
+		}
+		sig = sig*1099511628211 + uint64(r.Stall)*31 + uint64(r.Class)
+	}
+	bs := h.Bus().Stats
+	return fmt.Sprintf("%x-%d-%d-%d-%d-%d", sig, bs.GetS, bs.GetM, bs.C2CTransfers, bs.MemTransfers, h.DataMisses)
+}
+
+func TestFlatCurveLoadedMatchesFixed(t *testing.T) {
+	fixedCfg := smallCfg(4, 1)
+	loadedCfg := smallCfg(4, 1)
+	loadedCfg.Model = MemLoaded
+	loadedCfg.Loaded = flatLoaded()
+
+	fixed := driveMix(New(fixedCfg), 99)
+	loaded := driveMix(New(loadedCfg), 99)
+	if fixed != loaded {
+		t.Fatalf("flat-curve loaded diverged from fixed:\nfixed  %s\nloaded %s", fixed, loaded)
+	}
+}
+
+func TestLoadedDeterministic(t *testing.T) {
+	mk := func() *Hierarchy {
+		cfg := smallCfg(4, 1)
+		cfg.Model = MemLoaded
+		// Small window so the mix actually exercises the curve.
+		cfg.Loaded = LoadedConfig{WindowCycles: 2048, Buckets: 4, LineCycles: 16}
+		return New(cfg)
+	}
+	a := driveMix(mk(), 1234)
+	b := driveMix(mk(), 1234)
+	if a != b {
+		t.Fatalf("loaded model not deterministic:\n%s\n%s", a, b)
+	}
+}
+
+func TestLoadedRaisesLatencyUnderLoad(t *testing.T) {
+	cfg := smallCfg(4, 1)
+	cfg.Model = MemLoaded
+	cfg.Loaded = LoadedConfig{WindowCycles: 2048, Buckets: 4, LineCycles: 32, InterventionStartUtil: 2}
+	h := New(cfg)
+
+	// Miss continuously at the same simulated time: the window fills, the
+	// curve engages, and a memory-served miss must cost more than the
+	// unloaded latency.
+	var maxStall uint64
+	for i := 0; i < 4096; i++ {
+		addr := uint64(0x100000 + 64*uint64(i))
+		if r := h.Read(i%4, addr, 0); r.Class == StallMem && r.Stall > maxStall {
+			maxStall = r.Stall
+		}
+	}
+	if maxStall <= h.cfg.Lat.Memory {
+		t.Fatalf("loaded memory stall never exceeded the unloaded latency %d", h.cfg.Lat.Memory)
+	}
+	ls, ok := h.LoadSnapshot()
+	if !ok {
+		t.Fatal("LoadSnapshot not available under MemLoaded")
+	}
+	if ls.Util <= 0 || ls.MemMult <= 1 || ls.MemExtraCycles == 0 {
+		t.Fatalf("snapshot did not record load: %+v", ls)
+	}
+	if _, ok := New(smallCfg(2, 1)).LoadSnapshot(); ok {
+		t.Fatal("LoadSnapshot available under MemFixed")
+	}
+}
+
+// TestLoadedInterventionConvertsCleanCopies: with the channel saturated, a
+// memory-served miss whose block sits clean in another cache is supplied
+// cache-to-cache instead. The E6000 fixed model never does this.
+func TestLoadedInterventionConvertsCleanCopies(t *testing.T) {
+	cfg := smallCfg(2, 1)
+	cfg.Model = MemLoaded
+	cfg.Loaded = LoadedConfig{
+		WindowCycles: 1024, Buckets: 4, LineCycles: 64,
+		InterventionStartUtil: 0.01, InterventionMaxFrac: 1,
+	}
+	h := New(cfg)
+
+	// Saturate the window.
+	for i := 0; i < 64; i++ {
+		h.Read(0, uint64(0x400000+64*i), 0)
+	}
+	// CPU0 reads a fresh set of lines (clean, Shared); CPU1 then misses on
+	// the same lines. Fixed mode would count every one memory-served; the
+	// saturated loaded model must convert them to C2C.
+	for i := 0; i < 32; i++ {
+		h.Read(0, uint64(0x800000+64*i), 0)
+	}
+	before := h.Bus().Stats.C2CTransfers
+	var converted int
+	for i := 0; i < 32; i++ {
+		if r := h.Read(1, uint64(0x800000+64*i), 0); r.Class == StallC2C {
+			converted++
+		}
+	}
+	if converted == 0 {
+		t.Fatal("no clean-copy miss was converted to cache-to-cache under saturation")
+	}
+	if got := h.Bus().Stats.C2CTransfers - before; got != uint64(converted) {
+		t.Fatalf("bus C2C count %d disagrees with observed conversions %d", got, converted)
+	}
+	ls, _ := h.LoadSnapshot()
+	if ls.Interventions == 0 {
+		t.Fatal("snapshot intervention counter did not move")
+	}
+}
+
+func TestResetStatsClearsLoadedAccounting(t *testing.T) {
+	cfg := smallCfg(2, 1)
+	cfg.Model = MemLoaded
+	cfg.Loaded = LoadedConfig{WindowCycles: 1024, Buckets: 4, LineCycles: 64, InterventionStartUtil: 0.01, InterventionMaxFrac: 1}
+	h := New(cfg)
+	for i := 0; i < 64; i++ {
+		h.Read(0, uint64(0x400000+64*i), 0)
+		h.Read(1, uint64(0x400000+64*i), 0)
+	}
+	ls, _ := h.LoadSnapshot()
+	if ls.MemExtraCycles == 0 {
+		t.Fatal("no extra stall accumulated before reset")
+	}
+	h.ResetStats()
+	ls, _ = h.LoadSnapshot()
+	if ls.MemExtraCycles != 0 || ls.C2CExtraCycles != 0 || ls.Interventions != 0 {
+		t.Fatalf("ResetStats left loaded accounting: %+v", ls)
+	}
+	if ls.Util == 0 {
+		t.Fatal("ResetStats drained the utilization window (machine state must stay warm)")
+	}
+}
+
+// BenchmarkCurveLookup pins the piecewise-linear lookup on the miss path:
+// every loaded-model memory or C2C stall evaluates it, so a regression here
+// multiplies across the whole timing simulation.
+func BenchmarkCurveLookup(b *testing.B) {
+	knots := DefaultLoadedConfig().MemCurve
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += curveLookup(knots, float64(i%101)/100)
+	}
+	_ = sink
+}

@@ -88,6 +88,13 @@ type Config struct {
 	// makes the TLB effectively transparent; the ISM ablation sets base
 	// 8 KB pages here and measures the damage (§6 of the paper).
 	DTLB *tlb.Config
+	// Model selects how Memory/C2C latencies respond to offered load:
+	// MemFixed (default) charges Lat's unloaded scalars; MemLoaded charges
+	// the bandwidth–latency curve of Loaded (see loaded.go).
+	Model MemModel
+	// Loaded parameterizes the loaded model; unset fields take
+	// DefaultLoadedConfig values. Ignored under MemFixed.
+	Loaded LoadedConfig
 }
 
 // DefaultConfig returns the E6000-like baseline: 16 KB split L1s and a
@@ -116,6 +123,11 @@ func (c Config) Validate() error {
 	}
 	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2} {
 		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Model == MemLoaded {
+		if err := c.Loaded.withDefaults().Validate(); err != nil {
 			return err
 		}
 	}
@@ -148,6 +160,10 @@ type Hierarchy struct {
 	// data, split by access kind — Figure 16 plots the data side.
 	DataMisses  uint64
 	FetchMisses uint64
+
+	// lm is the loaded-latency model's state; nil under MemFixed, keeping
+	// the fixed model's stall charging bit-identical to the pre-model code.
+	lm *loadedModel
 }
 
 // New builds the hierarchy. It panics on an invalid config (static
@@ -157,6 +173,21 @@ func New(cfg Config) *Hierarchy {
 		panic(err)
 	}
 	h := &Hierarchy{cfg: cfg, bus: coherence.NewBus()}
+	if cfg.Model == MemLoaded {
+		lc := cfg.Loaded.withDefaults()
+		h.lm = &loadedModel{
+			cfg: lc,
+			tracker: coherence.NewLoadTracker(coherence.LoadConfig{
+				WindowCycles:          lc.WindowCycles,
+				Buckets:               lc.Buckets,
+				LineCycles:            lc.LineCycles,
+				WriteWeight:           lc.WriteWeight,
+				InterventionStartUtil: lc.InterventionStartUtil,
+				InterventionMaxFrac:   lc.InterventionMaxFrac,
+			}),
+		}
+		h.bus.Load = h.lm.tracker
+	}
 	groups := cfg.CPUs / cfg.CPUsPerL2
 	ports := make([]cpuPort, cfg.CPUs)
 	for g := 0; g < groups; g++ {
@@ -302,9 +333,17 @@ func (h *Hierarchy) result(src coherence.Source) Result {
 	case coherence.SrcUpgrade:
 		return Result{Stall: h.cfg.Lat.Upgrade, Class: StallL2Hit}
 	case coherence.SrcCache:
-		return Result{Stall: h.cfg.Lat.C2C, Class: StallC2C}
+		s := h.cfg.Lat.C2C
+		if h.lm != nil {
+			s = h.lm.c2cStall(s)
+		}
+		return Result{Stall: s, Class: StallC2C}
 	default:
-		return Result{Stall: h.cfg.Lat.Memory, Class: StallMem}
+		s := h.cfg.Lat.Memory
+		if h.lm != nil {
+			s = h.lm.memStall(s)
+		}
+		return Result{Stall: s, Class: StallMem}
 	}
 }
 
@@ -356,4 +395,12 @@ func (h *Hierarchy) ResetStats() {
 	h.bus.ResetStats()
 	h.DataMisses = 0
 	h.FetchMisses = 0
+	if h.lm != nil {
+		// The extra-stall and intervention accounting are stats; the
+		// utilization window and intervention ramp are machine state and
+		// stay warm across the boundary, like the caches.
+		h.lm.MemExtraCycles = 0
+		h.lm.C2CExtraCycles = 0
+		h.lm.tracker.ResetInterventions()
+	}
 }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"flag"
+	"sort"
+	"testing"
+)
+
+func registeredNames(t *testing.T, register func(*flag.FlagSet)) []string {
+	t.Helper()
+	fs := flag.NewFlagSet("scratch", flag.ContinueOnError)
+	register(fs)
+	var got []string
+	fs.VisitAll(func(f *flag.Flag) { got = append(got, f.Name) })
+	sort.Strings(got)
+	return got
+}
+
+// TestStandardFlagNamesMatchRegister pins StandardFlagNames to what
+// Flags.Register actually installs, so the per-driver parity tests cannot
+// silently go stale when a flag is added or renamed.
+func TestStandardFlagNamesMatchRegister(t *testing.T) {
+	var fl Flags
+	got := registeredNames(t, fl.Register)
+	want := append([]string(nil), StandardFlagNames()...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("Flags.Register installs %v, StandardFlagNames says %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Flags.Register installs %v, StandardFlagNames says %v", got, want)
+		}
+	}
+}
+
+// TestHostProfileFlagNamesMatchRegister does the same for HostProfile.
+func TestHostProfileFlagNamesMatchRegister(t *testing.T) {
+	var hp HostProfile
+	got := registeredNames(t, hp.Register)
+	want := append([]string(nil), HostProfileFlagNames()...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("HostProfile.Register installs %v, HostProfileFlagNames says %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("HostProfile.Register installs %v, HostProfileFlagNames says %v", got, want)
+		}
+	}
+}

@@ -54,6 +54,16 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.Uint64Var(&f.LatencyInterval, "latency-interval", 0, "latency time-series bin width in simulated cycles (0 = default 5M, 20 ms)")
 }
 
+// StandardFlagNames lists the flag names Register installs. Driver commands
+// assert against it in their flag-parity tests, so a new observability flag
+// added here fails every driver that forgets to wire it.
+func StandardFlagNames() []string {
+	return []string{
+		"trace", "metrics", "profile", "attr", "attr-exact", "attr-top",
+		"inspect", "heartbeat", "latency", "slo", "latency-interval",
+	}
+}
+
 // Enabled reports whether any artifact was requested (the heartbeat alone
 // does not need an observer).
 func (f *Flags) Enabled() bool {

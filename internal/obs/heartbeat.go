@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,11 @@ type Heartbeat struct {
 	// latency collector is attached; zero means "not tracking".
 	latP50 atomic.Uint64
 	latP99 atomic.Uint64
+	// memUtil/memMult carry the loaded-latency model's live channel
+	// utilization and memory-latency multiplier (Float64bits); a zero
+	// multiplier means "fixed model, nothing to report".
+	memUtil atomic.Uint64
+	memMult atomic.Uint64
 
 	w       io.Writer
 	label   string
@@ -97,6 +103,16 @@ func (h *Heartbeat) SetLatency(p50, p99 uint64) {
 	}
 }
 
+// SetMemLoad records the loaded-latency model's channel utilization and
+// memory-latency multiplier for the progress line. A zero mult clears the
+// segment.
+func (h *Heartbeat) SetMemLoad(util, mult float64) {
+	if h != nil {
+		h.memUtil.Store(math.Float64bits(util))
+		h.memMult.Store(math.Float64bits(mult))
+	}
+}
+
 // Stop halts the ticker and prints a final line. It is idempotent, so it
 // can be deferred as soon as the heartbeat starts AND called on the normal
 // exit path: the abnormal-termination path (panic unwinding, early error
@@ -136,6 +152,10 @@ func (h *Heartbeat) line() string {
 		toMS := CyclesPerMicrosecond * 1e3
 		s += fmt.Sprintf(", lat p50 %.1f ms p99 %.1f ms",
 			float64(h.latP50.Load())/toMS, float64(p99)/toMS)
+	}
+	if mult := math.Float64frombits(h.memMult.Load()); mult > 0 {
+		s += fmt.Sprintf(", mem util %.0f%% lat x%.1f",
+			100*math.Float64frombits(h.memUtil.Load()), mult)
 	}
 	return s
 }

@@ -32,6 +32,12 @@ func (h *HostProfile) Register(fs *flag.FlagSet) {
 	fs.StringVar(&h.MemFile, "memprofile", "", "write a Go pprof heap profile at exit")
 }
 
+// HostProfileFlagNames lists the flag names HostProfile.Register installs
+// (see StandardFlagNames).
+func HostProfileFlagNames() []string {
+	return []string{"cpuprofile", "memprofile"}
+}
+
 // Start begins CPU profiling if requested. Call Stop before exit; deferring
 // it from main is the usual shape.
 func (h *HostProfile) Start() error {
