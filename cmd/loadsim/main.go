@@ -1,0 +1,470 @@
+// Command loadsim drives the open-system cluster — N app-server nodes
+// behind a load balancer over sharded database backends — with open
+// arrivals, and sweeps offered load against the topology's analytic
+// capacity. It is the overload laboratory: where ecperfsim and jbbsim are
+// closed-loop (offered load self-throttles), loadsim's clients do not wait,
+// so pushing past capacity exercises the adaptive admission controls
+// (CoDel queue-delay dropping, per-shard AIMD concurrency limits, retry
+// budgets, brown-out class shedding) or — with -controls off — demonstrates
+// congestion collapse.
+//
+// Usage:
+//
+//	loadsim [-nodes N] [-workers N] [-shards N] [-queue-cap N] [-lb POLICY]
+//	        [-arrival poisson|bursty|diurnal|flash|off] [-offered MULT]
+//	        [-sweep 0.3,1,3] [-controls on|off|both] [-deadline-ms MS]
+//	        [-clients N] [-think-ms MS] [-horizon cycles] [-seed N]
+//	        [-faults FILE|demo|crash] [-report FILE]
+//	        [-latency FILE] [-slo SPEC] [-heartbeat DUR] [-inspect ADDR] ...
+//
+// -offered and -sweep are multiples of capacity: "-sweep 0.3,0.5,1,2,3
+// -controls both" reproduces the goodput-vs-offered-load curve with and
+// without controls in one paired, seed-deterministic run. "-arrival flash
+// -faults crash" is the flash-crowd-plus-node-crash scenario: a 6x arrival
+// spike while app node 0 is down. "-faults demo" runs the standard
+// every-kind schedule; its network windows target peer 1, which in this
+// topology is database shard 0. "-arrival off" runs a closed-loop
+// population (-clients/-think-ms) instead of open arrivals — the
+// self-throttling baseline.
+//
+// With -heartbeat the progress line carries live offered/admitted/shed
+// rates; with -inspect the /overload page serves per-node queue depths,
+// brown-out levels, and per-shard AIMD limiter state as JSON. With
+// -latency/-slo the single run (or the highest-load controls-on sweep
+// point) is traced through the reqtrace pipeline and its HDR/SLO report
+// printed and written. -trace/-metrics/-profile/-attr are accepted for
+// flag parity but inert here: this driver runs the queueing-level cluster
+// model, not an instrumented memory-system engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/arrival"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/obs/reqtrace"
+	"repro/internal/report"
+	"repro/internal/simrand"
+)
+
+// cyclesPerMS converts the -deadline-ms / -think-ms flags to the simulated
+// 250 MHz clock.
+const cyclesPerMS = core.CyclesPerSecond / 1000
+
+// appFlags is the full flag surface; registerFlags keeps it testable (the
+// flag-parity test registers onto a scratch FlagSet).
+type appFlags struct {
+	nodes, workers, shards *int
+	queueCap, clients      *int
+	lb, arrivalPat         *string
+	sweep, controls        *string
+	faults, reportPath     *string
+	offered, deadlineMS    *float64
+	thinkMS                *float64
+	seed, horizon          *uint64
+	ofl                    obs.Flags
+	hp                     obs.HostProfile
+}
+
+func registerFlags(fs *flag.FlagSet) *appFlags {
+	af := &appFlags{
+		nodes:      fs.Int("nodes", 4, "app-server nodes behind the load balancer (1-64)"),
+		workers:    fs.Int("workers", 8, "worker threads per node"),
+		shards:     fs.Int("shards", 2, "database shards (1-64)"),
+		queueCap:   fs.Int("queue-cap", 64, "bounded per-node request queue (with controls on)"),
+		clients:    fs.Int("clients", 16, "closed-loop client population (only with -arrival off)"),
+		lb:         fs.String("lb", "least", "load-balancer policy: rr, least, or weighted"),
+		arrivalPat: fs.String("arrival", "poisson", "arrival pattern: poisson, bursty, diurnal, flash, or off (closed loop)"),
+		sweep:      fs.String("sweep", "", "comma-separated offered-load multipliers, e.g. 0.3,1,3 (overrides -offered)"),
+		controls:   fs.String("controls", "on", "adaptive overload controls: on, off, or both (paired runs per point)"),
+		faults:     fs.String("faults", "", `fault schedule JSON file, "demo" (every kind; network windows hit shard 0), or "crash" (app node 0 down mid-run)`),
+		reportPath: fs.String("report", "", "also write the goodput figure (markdown) to FILE"),
+		offered:    fs.Float64("offered", 1, "offered load as a multiple of analytic capacity"),
+		deadlineMS: fs.Float64("deadline-ms", 25, "client patience; later completions count as wasted work, not goodput"),
+		thinkMS:    fs.Float64("think-ms", 16, "closed-loop mean think time (only with -arrival off)"),
+		seed:       fs.Uint64("seed", 20030208, "simulation seed"),
+		horizon:    fs.Uint64("horizon", 250_000_000, "arrival horizon in cycles (250M = 1 simulated second); the run then drains"),
+	}
+	af.ofl.Register(fs)
+	af.hp.Register(fs)
+	return af
+}
+
+// buildConfig turns the flag surface into a validated topology. The arrival
+// rate is a placeholder; each sweep point sets it from its multiplier.
+func buildConfig(af *appFlags) (cluster.OpenConfig, error) {
+	cfg := cluster.DefaultOpenConfig()
+	cfg.Nodes = *af.nodes
+	cfg.WorkersPerNode = *af.workers
+	cfg.Shards = *af.shards
+	cfg.QueueCap = *af.queueCap
+	cfg.DeadlineCycles = uint64(*af.deadlineMS * cyclesPerMS)
+	lb, err := cluster.ParseLBPolicy(*af.lb)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.LB = lb
+	if *af.arrivalPat == "off" {
+		cfg.ClosedClients = *af.clients
+		cfg.ThinkCycles = *af.thinkMS * cyclesPerMS
+		return cfg, nil
+	}
+	pat, err := arrival.ParsePattern(*af.arrivalPat)
+	if err != nil {
+		return cfg, err
+	}
+	ac := arrival.Config{Pattern: pat, Rate: cfg.Arrival.Rate}.Defaults()
+	if pat == arrival.Flash && ac.FlashAt == 0 {
+		// Spike a third of the way in, so the controls see steady state
+		// first and the drain after the spike is visible.
+		ac.FlashAt = *af.horizon / 3
+	}
+	cfg.Arrival = ac
+	return cfg, nil
+}
+
+// loadFaults resolves the -faults spec against the horizon.
+func loadFaults(spec string, horizon uint64) (*fault.Schedule, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "demo":
+		return fault.Demo(horizon/5, 3*horizon/5), nil
+	case "crash":
+		s := &fault.Schedule{Events: []fault.Event{{
+			Kind: fault.NodeCrash, At: horizon / 3, Duration: horizon / 6,
+			Peer: cluster.NodePeer(0),
+		}}}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return fault.LoadSchedule(spec)
+	}
+}
+
+// parseSweep parses the -sweep list; an empty spec falls back to a single
+// point at -offered.
+func parseSweep(spec string, offered float64) ([]float64, error) {
+	if spec == "" {
+		return []float64{offered}, nil
+	}
+	var mults []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("loadsim: bad sweep multiplier %q", f)
+		}
+		mults = append(mults, v)
+	}
+	return mults, nil
+}
+
+// point is one finished run of the sweep.
+type point struct {
+	mult     float64
+	controls bool
+	stats    cluster.OpenStats
+	simSec   float64 // arrival horizon in simulated seconds
+	p50, p99 float64 // critical-class latency, ms (0 = class never completed)
+	coll     *reqtrace.Collector
+}
+
+// goodps is the point's goodput in requests per simulated second.
+func (p point) goodps() float64 { return float64(p.stats.Good()) / p.simSec }
+
+// live bundles the optional progress surfaces a run publishes into.
+type live struct {
+	hb   *obs.Heartbeat
+	insp *obs.Inspector
+}
+
+// runPoint runs one (multiplier, controls) cell. Each cell gets its own
+// injector so fault draws stay comparable across cells, and its own
+// collector so reports never mix load levels.
+func runPoint(cfg cluster.OpenConfig, mult float64, controlsOn bool, seed, horizon uint64,
+	sched *fault.Schedule, newColl func() (*reqtrace.Collector, error), lv live) (point, error) {
+	if cfg.ClosedClients == 0 {
+		cfg.Arrival.Rate = mult * cfg.Capacity()
+	}
+	cfg.Controls.Enabled = controlsOn
+	s, err := cluster.NewOpen(cfg, seed)
+	if err != nil {
+		return point{}, err
+	}
+	if sched != nil {
+		s.SetFaults(fault.NewInjector(sched, simrand.New(seed+1)))
+	}
+	coll, err := newColl()
+	if err != nil {
+		return point{}, err
+	}
+	s.SetCollector(coll)
+	s.SetTick(2_000_000, func(at uint64, sim *cluster.OpenSim) {
+		lv.hb.SetCycles(at)
+		sec := float64(at) / core.CyclesPerSecond
+		st := sim.Stats
+		lv.hb.SetTraffic(float64(st.Offered)/sec, float64(st.Offered-st.Shed)/sec,
+			float64(st.Shed)/sec)
+		if lv.insp != nil {
+			if buf, err := json.Marshal(sim.Snapshot(at)); err == nil {
+				lv.insp.SetOverload(append(buf, '\n'))
+			}
+		}
+	})
+	s.Run(horizon)
+	lv.hb.Add(1)
+
+	p := point{mult: mult, controls: controlsOn, stats: s.Stats,
+		simSec: float64(horizon) / core.CyclesPerSecond, coll: coll}
+	crit := criticalClass(cfg.Mix)
+	for _, c := range coll.BuildReport().Classes {
+		if c.Class == crit && c.Latency.Count > 0 {
+			p.p50 = float64(c.Latency.P50) / cyclesPerMS
+			p.p99 = float64(c.Latency.P99) / cyclesPerMS
+		}
+	}
+	return p, nil
+}
+
+// criticalClass names the priority-0 work class (the one brown-out never
+// sheds); its latency is the table's headline quantile.
+func criticalClass(mix []cluster.WorkClass) string {
+	for _, m := range mix {
+		if m.Priority == 0 {
+			return m.Name
+		}
+	}
+	return mix[0].Name
+}
+
+// runSweep executes every (multiplier, controls) cell and prints the table.
+// The returned points are ordered controls-on first, each in sweep order.
+func runSweep(w io.Writer, cfg cluster.OpenConfig, mults []float64, modes []bool,
+	seed, horizon uint64, sched *fault.Schedule,
+	newColl func() (*reqtrace.Collector, error), lv live) ([]point, error) {
+	capRate := cfg.Capacity() * core.CyclesPerSecond
+	fmt.Fprintf(w, "loadsim: %d nodes x %d workers, %d shards, lb %s, deadline %.1f ms, capacity %.0f req/s\n",
+		cfg.Nodes, cfg.WorkersPerNode, cfg.Shards, cfg.LB, float64(cfg.DeadlineCycles)/cyclesPerMS, capRate)
+	fmt.Fprintf(w, "%7s %8s %9s %9s %8s %7s %7s %11s %7s %9s %9s\n",
+		"xload", "controls", "offered", "complete", "shed", "failed", "late",
+		"goodput", "shed%", "p50(ms)", "p99(ms)")
+	var pts []point
+	for _, on := range modes {
+		for _, m := range mults {
+			p, err := runPoint(cfg, m, on, seed, horizon, sched, newColl, lv)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, p)
+			st := p.stats
+			mode := "on"
+			if !on {
+				mode = "off"
+			}
+			shedPct := 0.0
+			if st.Offered > 0 {
+				shedPct = 100 * float64(st.Shed) / float64(st.Offered)
+			}
+			fmt.Fprintf(w, "%7.2f %8s %9d %9d %8d %7d %7d %9.0f/s %6.1f%% %9.2f %9.2f\n",
+				p.mult, mode, st.Offered, st.Completed, st.Shed, st.Failed, st.Late,
+				p.goodps(), shedPct, p.p50, p.p99)
+		}
+	}
+	return pts, nil
+}
+
+// buildFigure turns the sweep into the goodput-vs-offered-load figure with
+// the collapse headline in its notes.
+func buildFigure(pts []point, mults []float64) core.Figure {
+	f := core.Figure{
+		ID:     "loadsim",
+		Title:  "Goodput vs offered load (open arrivals)",
+		XLabel: "offered load (x capacity)",
+		YLabel: "requests/s",
+	}
+	series := func(on bool, label string, y func(point) float64) {
+		s := core.Series{Label: label}
+		for _, p := range pts {
+			if p.controls == on {
+				s.X = append(s.X, p.mult)
+				s.Y = append(s.Y, y(p))
+			}
+		}
+		if len(s.X) > 0 {
+			f.Series = append(f.Series, s)
+		}
+	}
+	series(true, "goodput, controls on", point.goodps)
+	series(false, "goodput, controls off", point.goodps)
+	series(true, "shed rate, controls on", func(p point) float64 {
+		return float64(p.stats.Shed) / p.simSec
+	})
+
+	var peakOn, lastOn, lastOff float64
+	haveOn, haveOff := false, false
+	for _, p := range pts {
+		if p.controls {
+			haveOn = true
+			if g := p.goodps(); g > peakOn {
+				peakOn = g
+			}
+			if p.mult == mults[len(mults)-1] {
+				lastOn = p.goodps()
+			}
+		} else if p.mult == mults[len(mults)-1] {
+			haveOff = true
+			lastOff = p.goodps()
+		}
+	}
+	top := mults[len(mults)-1]
+	if haveOn && len(mults) > 1 && peakOn > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"controls on: goodput at %.1fx offered = %.1f%% of peak (%.0f vs %.0f req/s)",
+			top, 100*lastOn/peakOn, lastOn, peakOn))
+	}
+	if haveOn && haveOff && lastOn > 0 {
+		f.Notes = append(f.Notes, fmt.Sprintf(
+			"controls off at %.1fx offered: goodput %.0f req/s = %.1f%% of the controlled run — congestion collapse",
+			top, lastOff, 100*lastOff/lastOn))
+	}
+	return f
+}
+
+// latencyPoint picks the run whose reqtrace report the -latency artifact
+// and summary describe: the highest-load controls-on point (the single run,
+// when there is no sweep).
+func latencyPoint(pts []point) *point {
+	var best *point
+	for i := range pts {
+		p := &pts[i]
+		if !p.controls && best != nil {
+			continue
+		}
+		if best == nil || !best.controls || p.mult >= best.mult {
+			best = p
+		}
+	}
+	return best
+}
+
+func main() {
+	af := registerFlags(flag.CommandLine)
+	flag.Parse()
+	ofl, hp := &af.ofl, &af.hp
+
+	if err := hp.Start(); err != nil {
+		fatal(err)
+	}
+	defer hp.Stop()
+	for _, inert := range []struct{ name, val string }{
+		{"-trace", ofl.Trace}, {"-metrics", ofl.Metrics},
+		{"-profile", ofl.Profile}, {"-attr", ofl.Attr},
+	} {
+		if inert.val != "" {
+			fmt.Fprintf(os.Stderr, "loadsim: %s ignored (queueing-level model, no engine instrumentation)\n", inert.name)
+		}
+	}
+
+	cfg, err := buildConfig(af)
+	if err != nil {
+		fatal(err)
+	}
+	mults, err := parseSweep(*af.sweep, *af.offered)
+	if err != nil {
+		fatal(err)
+	}
+	var modes []bool
+	switch *af.controls {
+	case "on":
+		modes = []bool{true}
+	case "off":
+		modes = []bool{false}
+	case "both":
+		modes = []bool{true, false}
+	default:
+		fatal(fmt.Errorf("-controls %q: want on, off, or both", *af.controls))
+	}
+	sched, err := loadFaults(*af.faults, *af.horizon)
+	if err != nil {
+		fatal(err)
+	}
+	newColl := func() (*reqtrace.Collector, error) {
+		if c, err := core.NewLatencyCollector(ofl); err != nil || c != nil {
+			return c, err
+		}
+		return reqtrace.NewCollector(reqtrace.Options{}), nil
+	}
+
+	start := time.Now()
+	hb := obs.StartHeartbeat(os.Stderr, "loadsim", ofl.Heartbeat)
+	defer hb.Stop()
+	if hb != nil {
+		hb.TotalRuns = uint64(len(mults) * len(modes))
+	}
+	lv := live{hb: hb}
+	if ofl.Inspect != "" {
+		in, err := obs.StartInspector(ofl.Inspect, "loadsim", hb)
+		if err != nil {
+			fatal(fmt.Errorf("starting inspector: %w", err))
+		}
+		defer in.Close()
+		lv.insp = in
+		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
+	}
+
+	pts, err := runSweep(os.Stdout, cfg, mults, modes, *af.seed, *af.horizon, sched, newColl, lv)
+	if err != nil {
+		fatal(err)
+	}
+	hb.Stop()
+
+	fig := buildFigure(pts, mults)
+	if len(mults) > 1 {
+		fmt.Println()
+		report.Render(os.Stdout, fig)
+	}
+	for _, n := range fig.Notes {
+		fmt.Println(n)
+	}
+	if *af.reportPath != "" {
+		w, err := obs.AtomicCreate(*af.reportPath, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		report.Markdown(w, fig)
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if lp := latencyPoint(pts); lp != nil && ofl.LatencyEnabled() {
+		fmt.Println()
+		fmt.Printf("latency report: %.2fx offered, controls %v\n", lp.mult, lp.controls)
+		report.LatencySummary(os.Stdout, lp.coll.BuildReport())
+		if ofl.Latency != "" && ofl.Latency != "-" {
+			if err := obs.AtomicWriteFile(ofl.Latency, lp.coll.ReportJSON(), 0o644); err != nil {
+				fatal(err)
+			}
+		} else if ofl.Latency == "-" {
+			os.Stdout.Write(lp.coll.ReportJSON())
+		}
+	}
+	_ = start
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadsim:", err)
+	os.Exit(1)
+}

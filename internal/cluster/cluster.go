@@ -43,11 +43,22 @@ type Coordinator struct {
 	dropTimeout uint64
 
 	// Requests counts app→db calls; Replies counts completed round trips;
-	// Dropped counts requests lost to fault windows. At any quiescent point
-	// Requests == Replies + Dropped + (requests still in flight).
-	Requests uint64
-	Replies  uint64
-	Dropped  uint64
+	// Dropped counts requests lost to fault windows — on either leg:
+	// DroppedReplies of them were answered by the database but lost on the
+	// way back. At every lockstep window boundary
+	// Requests == Replies + Dropped + InFlight(), and InFlight() equals the
+	// database server's QueueDepth() + InService() (the conservation test
+	// checks both).
+	Requests       uint64
+	Replies        uint64
+	Dropped        uint64
+	DroppedReplies uint64
+
+	// OnWindow, when set, runs after each lockstep window with the window's
+	// end cycle — both engines have reached t and all deliveries, replies,
+	// and drops up to t are accounted. Hook for heartbeats and invariant
+	// checks.
+	OnWindow func(t uint64)
 }
 
 // New wires the two machines together. The application server's network
@@ -89,10 +100,32 @@ func New(app, db *osmodel.Engine, srv *dbserver.Server, latency uint64) *Coordin
 		})
 	}
 	db.OnOpComplete = func(op *trace.Op, tid int, t uint64) {
-		if req, ok := srv.TakeRequest(op); ok {
-			c.Replies++
-			app.WakeExternal(req.SourceThread, t+c.latency)
+		req, ok := srv.TakeRequest(op)
+		if !ok {
+			return
 		}
+		// The reply crosses the same faulty wire: a partition, crash, or
+		// packet-loss window active when the database answers loses the
+		// reply even though the work was done — the asymmetry that makes
+		// distributed failures expensive. The caller cannot tell a lost
+		// request from a lost reply; either way it resumes empty-handed
+		// when its timer fires, dropTimeout after it issued the request.
+		if c.faults.CallOutcome(c.dbPeer, t) != fault.OK {
+			c.Dropped++
+			c.DroppedReplies++
+			wake := req.DeliverAt - c.latency + c.dropTimeout
+			// A reply that took longer than the timeout to produce would
+			// put the timer in an already-simulated window; the lockstep
+			// cannot wake into the past, so the caller resumes at the
+			// earliest future-safe point instead.
+			if wake < t+c.latency {
+				wake = t + c.latency
+			}
+			app.WakeExternal(req.SourceThread, wake)
+			return
+		}
+		c.Replies++
+		app.WakeExternal(req.SourceThread, t+c.latency)
 	}
 	return c
 }
@@ -109,6 +142,9 @@ func (c *Coordinator) Run(horizon uint64) {
 		}
 		c.app.Run(t)
 		c.db.Run(t)
+		if c.OnWindow != nil {
+			c.OnWindow(t)
+		}
 		if t == horizon {
 			return
 		}

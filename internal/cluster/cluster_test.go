@@ -16,7 +16,7 @@ import (
 
 // rig assembles a tiny two-machine cluster: one client thread calling an
 // external peer, and a database machine answering.
-func rig(t *testing.T, calls int) (*Coordinator, *osmodel.Engine, *osmodel.Engine) {
+func rig(t *testing.T, calls int) (*Coordinator, *osmodel.Engine, *osmodel.Engine, *dbserver.Server) {
 	t.Helper()
 	const peerDB = 1
 
@@ -57,11 +57,11 @@ func rig(t *testing.T, calls int) (*Coordinator, *osmodel.Engine, *osmodel.Engin
 		db.AddThread("db-worker", srv.WorkerSource(i))
 	}
 
-	return New(app, db, srv, netsim.DefaultLink().LatencyCycles), app, db
+	return New(app, db, srv, netsim.DefaultLink().LatencyCycles), app, db, srv
 }
 
 func TestRoundTripCompletes(t *testing.T) {
-	coord, app, _ := rig(t, 5)
+	coord, app, _, _ := rig(t, 5)
 	coord.Run(20_000_000)
 	res := app.Results()
 	if res.BusinessOps != 5 {
@@ -73,7 +73,7 @@ func TestRoundTripCompletes(t *testing.T) {
 }
 
 func TestCallerWaitsAtLeastTwoWireLatencies(t *testing.T) {
-	coord, app, _ := rig(t, 1)
+	coord, app, _, _ := rig(t, 1)
 	coord.Run(20_000_000)
 	h := app.Results().LatencyByTag["call"]
 	if h == nil || h.Count() != 1 {
@@ -85,7 +85,7 @@ func TestCallerWaitsAtLeastTwoWireLatencies(t *testing.T) {
 }
 
 func TestWindowRespectsLookahead(t *testing.T) {
-	coord, _, _ := rig(t, 1)
+	coord, _, _, _ := rig(t, 1)
 	if coord.Window() > netsim.DefaultLink().LatencyCycles {
 		t.Fatalf("window %d exceeds the lookahead %d", coord.Window(), netsim.DefaultLink().LatencyCycles)
 	}
@@ -93,7 +93,7 @@ func TestWindowRespectsLookahead(t *testing.T) {
 
 func TestDeterministicCoSim(t *testing.T) {
 	run := func() uint64 {
-		coord, app, _ := rig(t, 10)
+		coord, app, _, _ := rig(t, 10)
 		coord.Run(40_000_000)
 		h := app.Results().LatencyByTag["call"]
 		if h == nil {
@@ -107,7 +107,7 @@ func TestDeterministicCoSim(t *testing.T) {
 }
 
 func TestDBMachineMeasurable(t *testing.T) {
-	coord, _, db := rig(t, 8)
+	coord, _, db, _ := rig(t, 8)
 	coord.Run(30_000_000)
 	res := db.Results()
 	if res.OpsByTag["query"] != 8 {

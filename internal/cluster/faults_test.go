@@ -11,7 +11,7 @@ import (
 // the database peer, over the standard two-machine rig.
 func partitioned(t *testing.T, calls int, kind fault.Kind, at, dur uint64) (*Coordinator, func() uint64) {
 	t.Helper()
-	coord, app, _ := rig(t, calls)
+	coord, app, _, _ := rig(t, calls)
 	s := &fault.Schedule{Events: []fault.Event{{Kind: kind, At: at, Duration: dur, Peer: 1}}}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
@@ -78,6 +78,61 @@ func TestCrashFastFailsQuickly(t *testing.T) {
 	}
 }
 
+// TestPerWindowConservationGroundTruth checks the drop-path accounting at
+// EVERY lockstep window boundary, not just at quiescence, against the
+// database server's own state: the coordinator's in-flight count must equal
+// exactly the requests the server holds (queued + claimed by workers).
+// Partition, packet-loss, and crash windows all run mid-stream, so both
+// drop legs are exercised — requests lost on the way out and replies lost
+// on the way back after the database did the work.
+func TestPerWindowConservationGroundTruth(t *testing.T) {
+	const calls = 200
+	coord, app, _, srv := rig(t, calls)
+	s := &fault.Schedule{Events: []fault.Event{
+		{Kind: fault.Partition, At: 2_000_000, Duration: 4_000_000, Peer: 1},
+		{Kind: fault.PacketLoss, At: 7_000_000, Duration: 5_000_000, Peer: 1, Magnitude: 0.5},
+		{Kind: fault.NodeCrash, At: 14_000_000, Duration: 3_000_000, Peer: 1},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	coord.SetFaults(fault.NewInjector(s, simrand.New(9)), 1, 0)
+
+	windows := 0
+	coord.OnWindow = func(tw uint64) {
+		windows++
+		if coord.Replies+coord.Dropped+coord.InFlight() != coord.Requests {
+			t.Fatalf("window %d: %d replies + %d dropped + %d in flight != %d requests",
+				tw, coord.Replies, coord.Dropped, coord.InFlight(), coord.Requests)
+		}
+		if got, want := coord.InFlight(), uint64(srv.QueueDepth()+srv.InService()); got != want {
+			t.Fatalf("window %d: coordinator counts %d in flight, server holds %d (%d queued + %d in service)",
+				tw, got, want, srv.QueueDepth(), srv.InService())
+		}
+	}
+	coord.Run(90_000_000)
+
+	if windows == 0 {
+		t.Fatal("OnWindow never fired")
+	}
+	if coord.Dropped == 0 || coord.Replies == 0 {
+		t.Fatalf("schedule not exercised: %d dropped, %d replied", coord.Dropped, coord.Replies)
+	}
+	if coord.DroppedReplies == 0 {
+		t.Fatal("no reply was lost in flight: the reply-drop path never ran")
+	}
+	if coord.DroppedReplies == coord.Dropped {
+		t.Fatal("no request was lost on the way out: the send-drop path never ran")
+	}
+	if coord.InFlight() != 0 {
+		t.Fatalf("%d requests leaked at quiescence", coord.InFlight())
+	}
+	// Every dropped caller resumed via its timeout wake and finished.
+	if got := app.Results().BusinessOps; got != calls {
+		t.Fatalf("caller completed %d ops, want %d", got, calls)
+	}
+}
+
 // TestFaultedCoSimDeterministic checks the same seed and schedule
 // reproduce identical fault accounting.
 func TestFaultedCoSimDeterministic(t *testing.T) {
@@ -95,10 +150,10 @@ func TestFaultedCoSimDeterministic(t *testing.T) {
 // TestNoFaultsPathUnchanged checks a nil injector leaves the coordinator's
 // behavior identical to an un-faulted one.
 func TestNoFaultsPathUnchanged(t *testing.T) {
-	plain, appPlain, _ := rig(t, 10)
+	plain, appPlain, _, _ := rig(t, 10)
 	plain.Run(40_000_000)
 
-	armed, appArmed, _ := rig(t, 10)
+	armed, appArmed, _, _ := rig(t, 10)
 	armed.SetFaults(nil, 1, 0)
 	armed.Run(40_000_000)
 

@@ -34,6 +34,12 @@ type Heartbeat struct {
 	// multiplier means "fixed model, nothing to report".
 	memUtil atomic.Uint64
 	memMult atomic.Uint64
+	// trafOffered/trafAdmitted/trafShed carry an open-system driver's live
+	// traffic rates in requests per simulated second (Float64bits); a zero
+	// offered rate means "closed loop, nothing to report".
+	trafOffered  atomic.Uint64
+	trafAdmitted atomic.Uint64
+	trafShed     atomic.Uint64
 
 	w       io.Writer
 	label   string
@@ -113,6 +119,17 @@ func (h *Heartbeat) SetMemLoad(util, mult float64) {
 	}
 }
 
+// SetTraffic records an open-system driver's live offered, admitted, and
+// shed rates (requests per simulated second) for the progress line. A zero
+// offered rate clears the segment.
+func (h *Heartbeat) SetTraffic(offered, admitted, shed float64) {
+	if h != nil {
+		h.trafOffered.Store(math.Float64bits(offered))
+		h.trafAdmitted.Store(math.Float64bits(admitted))
+		h.trafShed.Store(math.Float64bits(shed))
+	}
+}
+
 // Stop halts the ticker and prints a final line. It is idempotent, so it
 // can be deferred as soon as the heartbeat starts AND called on the normal
 // exit path: the abnormal-termination path (panic unwinding, early error
@@ -156,6 +173,11 @@ func (h *Heartbeat) line() string {
 	if mult := math.Float64frombits(h.memMult.Load()); mult > 0 {
 		s += fmt.Sprintf(", mem util %.0f%% lat x%.1f",
 			100*math.Float64frombits(h.memUtil.Load()), mult)
+	}
+	if off := math.Float64frombits(h.trafOffered.Load()); off > 0 {
+		s += fmt.Sprintf(", offered %.0f/s admitted %.0f/s shed %.0f/s",
+			off, math.Float64frombits(h.trafAdmitted.Load()),
+			math.Float64frombits(h.trafShed.Load()))
 	}
 	return s
 }

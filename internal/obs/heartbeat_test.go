@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatTrafficSegment: the progress line carries offered/admitted/
+// shed rates once a driver sets them, and a zero offered rate clears the
+// segment. A nil heartbeat accepts the call.
+func TestHeartbeatTrafficSegment(t *testing.T) {
+	h := &Heartbeat{start: time.Now()}
+	if s := h.line(); strings.Contains(s, "offered") {
+		t.Errorf("fresh heartbeat already reports traffic: %q", s)
+	}
+	h.SetTraffic(23896, 17800, 6096)
+	s := h.line()
+	for _, want := range []string{"offered 23896/s", "admitted 17800/s", "shed 6096/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("line %q missing %q", s, want)
+		}
+	}
+	h.SetTraffic(0, 0, 0)
+	if s := h.line(); strings.Contains(s, "offered") {
+		t.Errorf("cleared traffic still printed: %q", s)
+	}
+	var nilHB *Heartbeat
+	nilHB.SetTraffic(1, 1, 0) // must not panic
+}

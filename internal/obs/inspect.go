@@ -33,13 +33,14 @@ type Inspector struct {
 	ln    net.Listener
 	srv   *http.Server
 
-	mu      sync.Mutex
-	metrics []byte
-	attr    []byte
-	latency []byte
-	note    string
-	pubs    uint64
-	lastPub time.Time
+	mu       sync.Mutex
+	metrics  []byte
+	attr     []byte
+	latency  []byte
+	overload []byte
+	note     string
+	pubs     uint64
+	lastPub  time.Time
 }
 
 // publishInterval is the minimum wall time between non-forced Publish
@@ -61,6 +62,7 @@ func StartInspector(addr, label string, hb *Heartbeat) (*Inspector, error) {
 	mux.HandleFunc("/metrics", in.handleMetrics)
 	mux.HandleFunc("/attr", in.handleAttr)
 	mux.HandleFunc("/latency", in.handleLatency)
+	mux.HandleFunc("/overload", in.handleOverload)
 	mux.HandleFunc("/status", in.handleStatus)
 	in.srv = &http.Server{Handler: mux}
 	go in.srv.Serve(ln)
@@ -128,6 +130,19 @@ func (in *Inspector) Publish(ob *Observer, topN int, force bool) {
 	in.mu.Unlock()
 }
 
+// SetOverload publishes an open-system overload snapshot (JSON: per-node
+// queue depth and brown-out level, per-shard AIMD limiter state) as the
+// /overload page. The caller renders the bytes on its simulation thread at
+// tick boundaries; nil clears the page.
+func (in *Inspector) SetOverload(buf []byte) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.overload = buf
+	in.mu.Unlock()
+}
+
 // SetNote attaches a free-form line to /status — the drivers use it for
 // watchdog reports and phase announcements.
 func (in *Inspector) SetNote(note string) {
@@ -145,7 +160,7 @@ func (in *Inspector) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/latency  request-latency/SLO report (JSON)\n/status   run status (JSON)\n", in.label)
+	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/latency  request-latency/SLO report (JSON)\n/overload open-system overload state: queues, limiters, shed counters (JSON)\n/status   run status (JSON)\n", in.label)
 }
 
 func (in *Inspector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -184,17 +199,33 @@ func (in *Inspector) handleLatency(w http.ResponseWriter, _ *http.Request) {
 	w.Write(body)
 }
 
+func (in *Inspector) handleOverload(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	body := in.overload
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	w.Write(body)
+}
+
 func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	in.mu.Lock()
 	note := in.note
 	pubs := in.pubs
 	last := in.lastPub
 	latencyLive := in.latency != nil
+	overloadLive := in.overload != nil
 	in.mu.Unlock()
 
 	pages := []string{"/metrics", "/attr", "/status"}
 	if latencyLive {
 		pages = append(pages, "/latency")
+	}
+	if overloadLive {
+		pages = append(pages, "/overload")
 	}
 	st := map[string]any{
 		"label":        in.label,

@@ -86,6 +86,44 @@ func TestInspectorServesPublishedState(t *testing.T) {
 	}
 }
 
+// TestInspectorOverloadPage: /overload serves the last snapshot the driver
+// set, appears in /status's page list only once live, and clears to the
+// placeholder on nil.
+func TestInspectorOverloadPage(t *testing.T) {
+	in, err := StartInspector("127.0.0.1:0", "overload", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	base := "http://" + in.Addr()
+
+	if body, ct := get(t, base+"/overload"); strings.TrimSpace(body) != "{}" || ct != "application/json" {
+		t.Errorf("unpublished /overload = %q (%s)", body, ct)
+	}
+	body, _ := get(t, base+"/status")
+	if strings.Contains(body, "/overload") {
+		t.Error("/status lists /overload before anything was published")
+	}
+
+	in.SetOverload([]byte(`{"cycle":42,"nodes":[{"id":0,"queue":7}]}` + "\n"))
+	if body, _ := get(t, base+"/overload"); !strings.Contains(body, `"queue":7`) {
+		t.Errorf("/overload = %q", body)
+	}
+	if body, _ := get(t, base+"/status"); !strings.Contains(body, "/overload") {
+		t.Error("/status does not list the live /overload page")
+	}
+	if body, _ := get(t, base+"/"); !strings.Contains(body, "/overload") {
+		t.Error("index does not mention /overload")
+	}
+
+	in.SetOverload(nil)
+	if body, _ := get(t, base+"/overload"); strings.TrimSpace(body) != "{}" {
+		t.Errorf("cleared /overload = %q", body)
+	}
+	var nilIn *Inspector
+	nilIn.SetOverload([]byte("x")) // must not panic
+}
+
 func TestInspectorThrottlesPublish(t *testing.T) {
 	in, err := StartInspector("127.0.0.1:0", "throttle", nil)
 	if err != nil {

@@ -179,6 +179,18 @@ func (c *Collector) Begin(op *trace.Op, start uint64) *Span {
 	return &Span{class: op.Tag, start: start}
 }
 
+// BeginClass opens a span for an explicitly named request class dispatched
+// at start — the entry point for open-system simulations, whose requests
+// are not trace operations. Like Begin, it is nil-safe on the collector,
+// and the returned span is only an accumulator: nothing is recorded until
+// End.
+func (c *Collector) BeginClass(class string, start uint64) *Span {
+	if c == nil || class == "" {
+		return nil
+	}
+	return &Span{class: class, start: start}
+}
+
 // End completes a span at time end, folding it into the class and interval
 // accumulators.
 func (c *Collector) End(s *Span, end uint64) {

@@ -150,6 +150,12 @@ func (s *Server) Enqueue(r Request) {
 // QueueDepth returns the number of waiting requests.
 func (s *Server) QueueDepth() int { return len(s.queue) }
 
+// InService returns the number of requests claimed by worker threads but
+// not yet answered. QueueDepth() + InService() is every request the server
+// has accepted and not replied to — the ground truth a coordinator's
+// in-flight accounting must match.
+func (s *Server) InService() int { return len(s.inflight) }
+
 // TakeRequest claims the request answered by a completed op, if any.
 func (s *Server) TakeRequest(op *trace.Op) (Request, bool) {
 	r, ok := s.inflight[op]
