@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-quick] [-seeds K] [-memmodel fixed|loaded]
+//	figures [-fig N] [-quick] [-seeds K] [-serial] [-memmodel fixed|loaded]
 //	        [-trace FILE] [-metrics FILE] [-profile FILE] [-heartbeat DUR]
 //	        [-attr FILE] [-attr-exact] [-attr-top N] [-inspect ADDR]
 //
 // Without -fig, every figure is produced (Figures 4–9 share one scaling
 // sweep per workload, so the whole set costs little more than its largest
 // member). -quick selects the reduced test-sized configuration.
+//
+// All requested figures' simulation cells are admitted to one global work
+// queue up front, so host cores stay busy across figure boundaries;
+// figures are rendered in serial order once the queue drains, making
+// stdout byte-identical to -serial, which runs every cell inline in
+// submission order (the old one-sweep-at-a-time behavior).
 //
 // The observability flags additionally run one fully-observed point per
 // workload (the largest processor count, first seed) and write a Chrome
@@ -25,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -42,6 +49,7 @@ type appFlags struct {
 	quick    *bool
 	seeds    *int
 	md       *bool
+	serial   *bool
 	memmodel *string
 	ofl      obs.Flags
 	hp       obs.HostProfile
@@ -53,6 +61,7 @@ func registerFlags(fs *flag.FlagSet) *appFlags {
 		quick:    fs.Bool("quick", false, "reduced runs (single seed, short windows)"),
 		seeds:    fs.Int("seeds", 0, "override the number of seeds"),
 		md:       fs.Bool("md", false, "emit GitHub-flavored markdown tables instead of text+plots"),
+		serial:   fs.Bool("serial", false, "run simulation cells serially in submission order instead of on the global work queue"),
 		memmodel: fs.String("memmodel", "fixed", "memory timing model: fixed (unloaded scalar latencies) or loaded (bandwidth-latency curve)"),
 	}
 	af.ofl.Register(fs)
@@ -61,19 +70,30 @@ func registerFlags(fs *flag.FlagSet) *appFlags {
 }
 
 func main() {
-	af := registerFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: parse args, schedule
+// the requested figures' cells, render in order, optionally run the
+// observed points. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	af := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	fig, quick, seeds, md := af.fig, af.quick, af.seeds, af.md
 	ofl, hp := &af.ofl, &af.hp
 	memModel, err := memsys.ParseMemModel(*af.memmodel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "figures:", err)
+		return 2
 	}
 
 	if err := hp.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer hp.Stop()
 
@@ -98,7 +118,7 @@ func main() {
 	// 12/13) count misses, not cycles.
 	opts.MemModel = memModel
 
-	hb := obs.StartHeartbeat(os.Stderr, "figures", ofl.Heartbeat)
+	hb := obs.StartHeartbeat(stderr, "figures", ofl.Heartbeat)
 	defer hb.Stop()
 	opts.Progress = hb
 	sweepOpts.Progress = hb
@@ -107,20 +127,60 @@ func main() {
 	emitted := 0
 	emit := func(f core.Figure) {
 		if *md {
-			report.Markdown(os.Stdout, f)
+			report.Markdown(stdout, f)
 		} else {
-			report.Render(os.Stdout, f)
+			report.Render(stdout, f)
 		}
 		emitted++
 	}
 
 	start := time.Now()
 
-	// Figures 4–9 share the two scaling sweeps.
+	// Admission: every requested figure submits its cells to one global
+	// queue. Only requested groups submit anything — a single-figure run
+	// never executes unrelated sweeps.
+	workers := core.DefaultWorkers()
+	if *af.serial {
+		workers = 1
+	}
+	sched := core.NewScheduler(workers)
+
+	var jbb, ec *core.ScalingSweep
 	if want(4) || want(5) || want(6) || want(7) || want(8) || want(9) {
-		fmt.Fprintf(os.Stderr, "running scaling sweeps (procs=%v, %d seeds)...\n", opts.Procs, len(opts.Seeds))
-		jbb := core.RunScalingSweep(core.SPECjbb, opts)
-		ec := core.RunScalingSweep(core.ECperf, opts)
+		fmt.Fprintf(stderr, "running scaling sweeps (procs=%v, %d seeds)...\n", opts.Procs, len(opts.Seeds))
+		jbb = core.ScheduleScalingSweep(sched, core.SPECjbb, opts)
+		ec = core.ScheduleScalingSweep(sched, core.ECperf, opts)
+	}
+
+	var commJbb, commEc *core.CommProfile
+	if want(10) || want(14) || want(15) {
+		fmt.Fprintln(stderr, "running communication profiles (8 processors)...")
+		commJbb, commEc = core.ScheduleCommProfiles(sched, commOpts)
+	}
+
+	var memRuns *core.MemScaleRuns
+	if want(11) {
+		fmt.Fprintln(stderr, "running memory-scaling study...")
+		memRuns = core.ScheduleMemScale(sched, memOpts)
+	}
+
+	var cs *core.CacheSweeps
+	if want(12) || want(13) {
+		fmt.Fprintln(stderr, "running uniprocessor cache sweeps...")
+		cs = core.ScheduleCacheSweeps(sched, sweepOpts)
+	}
+
+	var shared *core.SharedCacheRuns
+	if want(16) {
+		fmt.Fprintln(stderr, "running shared-cache CMP study...")
+		shared = core.ScheduleSharedCache(sched, sharedOpts)
+	}
+
+	sched.Wait()
+
+	// Rendering: serial figure order, independent of cell completion
+	// order, so stdout is byte-identical to a -serial run.
+	if jbb != nil {
 		if want(4) {
 			emit(core.Fig4Throughput(jbb, ec))
 		}
@@ -143,30 +203,21 @@ func main() {
 			emit(core.Fig9GCScaling(jbb, ec))
 		}
 	}
-
-	if want(10) || want(14) || want(15) {
-		fmt.Fprintln(os.Stderr, "running communication profiles (8 processors)...")
-		jbb := core.RunCommProfile(core.SPECjbb, commOpts)
-		ec := core.RunCommProfile(core.ECperf, commOpts)
+	if commJbb != nil {
 		if want(10) {
-			emit(core.Fig10C2CTimeline(jbb))
+			emit(core.Fig10C2CTimeline(*commJbb))
 		}
 		if want(14) {
-			emit(core.Fig14C2CDistribution(jbb, ec))
+			emit(core.Fig14C2CDistribution(*commJbb, *commEc))
 		}
 		if want(15) {
-			emit(core.Fig15C2CFootprint(jbb, ec))
+			emit(core.Fig15C2CFootprint(*commJbb, *commEc))
 		}
 	}
-
-	if want(11) {
-		fmt.Fprintln(os.Stderr, "running memory-scaling study...")
-		emit(core.Fig11MemoryScaling(memOpts))
+	if memRuns != nil {
+		emit(memRuns.Figure())
 	}
-
-	if want(12) || want(13) {
-		fmt.Fprintln(os.Stderr, "running uniprocessor cache sweeps...")
-		cs := core.RunCacheSweeps(sweepOpts)
+	if cs != nil {
 		if want(12) {
 			emit(core.Fig12ICacheMissRate(cs))
 		}
@@ -174,15 +225,13 @@ func main() {
 			emit(core.Fig13DCacheMissRate(cs))
 		}
 	}
-
-	if want(16) {
-		fmt.Fprintln(os.Stderr, "running shared-cache CMP study...")
-		emit(core.Fig16SharedCaches(sharedOpts))
+	if shared != nil {
+		emit(shared.Figure())
 	}
 
 	if emitted == 0 {
-		fmt.Fprintf(os.Stderr, "no such figure: %d (the paper has Figures 4-16)\n", *fig)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "no such figure: %d (the paper has Figures 4-16)\n", *fig)
+		return 2
 	}
 
 	if ofl.Enabled() {
@@ -196,17 +245,17 @@ func main() {
 			var err error
 			insp, err = obs.StartInspector(ofl.Inspect, "figures", hb)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "starting inspector: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "starting inspector: %v\n", err)
+				return 1
 			}
 			defer insp.Close()
-			fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+			fmt.Fprintf(stderr, "inspector listening on http://%s\n", insp.Addr())
 		}
 		var observers []*obs.Observer
 		var snaps []*obs.Snapshot
 		var labels []string
 		for i, kind := range []core.Kind{core.SPECjbb, core.ECperf} {
-			fmt.Fprintf(os.Stderr, "observed run: %s, %d processors, seed %d...\n", kind, procs, seed)
+			fmt.Fprintf(stderr, "observed run: %s, %d processors, seed %d...\n", kind, procs, seed)
 			ob := ofl.NewObserver(i)
 			ob.Inspect = insp
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, procs))
@@ -214,8 +263,8 @@ func main() {
 			// artifact keys the reports by workload label.
 			rt, err := core.NewLatencyCollector(ofl)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "figures:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "figures:", err)
+				return 1
 			}
 			_, snap := core.RunObservedPointLatency(kind, procs, seed, opts, ob, rt)
 			observers = append(observers, ob)
@@ -226,7 +275,7 @@ func main() {
 		manifestOpts.Progress = nil
 		m := &obs.Manifest{
 			Command: "figures",
-			Args:    os.Args[1:],
+			Args:    args,
 			Git:     obs.GitDescribe(),
 			Started: start,
 			Seeds:   opts.Seeds,
@@ -237,10 +286,11 @@ func main() {
 			WallSeconds: time.Since(start).Seconds(),
 		}
 		if err := ofl.WriteArtifacts(labels, observers, snaps, m); err != nil {
-			fmt.Fprintf(os.Stderr, "writing observability artifacts: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "writing observability artifacts: %v\n", err)
+			return 1
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "done: %d figure renderings in %s\n", emitted, time.Since(start).Round(time.Second))
+	fmt.Fprintf(stderr, "done: %d figure renderings in %s\n", emitted, time.Since(start).Round(time.Second))
+	return 0
 }

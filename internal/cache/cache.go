@@ -59,15 +59,16 @@ func (c Config) String() string {
 	return fmt.Sprintf("%s %dKB/%dway/%dB", c.Name, c.SizeBytes/1024, c.Assoc, c.BlockBytes)
 }
 
-// Line is one cache line's bookkeeping.
+// Line is one cache line's bookkeeping. Recency lives in the cache's
+// parallel lru array rather than here, so a probe hit touches only the
+// compact tag/lru arrays and never dirties the Line itself.
 type Line struct {
 	Tag uint64 // block address (already shifted)
 	// State may be rewritten by callers (the coherence protocol does), but
 	// only between valid states: invalidation must go through Invalidate so
 	// the cache's internal tag mirror stays exact.
-	State   State
-	Dirty   bool
-	lastUse uint64
+	State State
+	Dirty bool
 }
 
 // Stats counts cache events. Hits/misses are split by access type.
@@ -120,7 +121,12 @@ type Cache struct {
 	// cache line. Validity only ever changes inside this package (Allocate
 	// and Invalidate), which is what keeps the mirror exact: callers adjust
 	// Line.State freely but only between valid states.
-	tags       []uint64
+	tags []uint64
+	// lru holds each way's last-use clock, parallel to sets/tags. Keeping
+	// recency out of Line means the replacement scan in Allocate reads two
+	// dense uint64 arrays (tags for validity, lru for age) instead of
+	// walking Line structs.
+	lru        []uint64
 	assoc      int
 	setMask    uint64
 	blockShift uint
@@ -139,6 +145,7 @@ func New(cfg Config) *Cache {
 		cfg:        cfg,
 		sets:       make([]Line, sets*cfg.Assoc),
 		tags:       make([]uint64, sets*cfg.Assoc),
+		lru:        make([]uint64, sets*cfg.Assoc),
 		assoc:      cfg.Assoc,
 		setMask:    uint64(sets - 1),
 		blockShift: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
@@ -154,11 +161,38 @@ func (c *Cache) BlockAddr(a mem.Addr) uint64 { return a >> c.blockShift << c.blo
 
 // Probe returns the line holding block ba, or nil. It does not update LRU.
 // ba must be block-aligned (a BlockAddr result), which leaves bit 0 free for
-// the tag array's valid marker.
+// the tag array's valid marker. The common associativities are unrolled:
+// the probe is the single hottest operation in the simulator.
 func (c *Cache) Probe(ba uint64) *Line {
 	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
-	tags := c.tags[base : base+uint64(c.assoc)]
 	want := ba | 1
+	switch c.assoc {
+	case 2:
+		t := c.tags[base : base+2 : base+2]
+		if t[0] == want {
+			return &c.sets[base]
+		}
+		if t[1] == want {
+			return &c.sets[base+1]
+		}
+		return nil
+	case 4:
+		t := c.tags[base : base+4 : base+4]
+		if t[0] == want {
+			return &c.sets[base]
+		}
+		if t[1] == want {
+			return &c.sets[base+1]
+		}
+		if t[2] == want {
+			return &c.sets[base+2]
+		}
+		if t[3] == want {
+			return &c.sets[base+3]
+		}
+		return nil
+	}
+	tags := c.tags[base : base+uint64(c.assoc)]
 	for i := range tags {
 		if tags[i] == want {
 			return &c.sets[base+uint64(i)]
@@ -167,10 +201,63 @@ func (c *Cache) Probe(ba uint64) *Line {
 	return nil
 }
 
-// Touch marks the line as most recently used.
-func (c *Cache) Touch(l *Line) {
-	c.clock++
-	l.lastUse = c.clock
+// ProbeTouch is Probe plus a most-recently-used update in one associative
+// scan — the hit path of every L1/L2 access. On a hit only the tag and lru
+// arrays are touched; the Line itself stays untouched unless the caller
+// dereferences the returned pointer.
+func (c *Cache) ProbeTouch(ba uint64) *Line {
+	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
+	want := ba | 1
+	// Full-slice expressions give the compiler the way count, so the
+	// per-way tag compares below carry no bounds checks.
+	switch c.assoc {
+	case 2:
+		t := c.tags[base : base+2 : base+2]
+		if t[0] == want {
+			c.clock++
+			c.lru[base] = c.clock
+			return &c.sets[base]
+		}
+		if t[1] == want {
+			c.clock++
+			c.lru[base+1] = c.clock
+			return &c.sets[base+1]
+		}
+		return nil
+	case 4:
+		t := c.tags[base : base+4 : base+4]
+		if t[0] == want {
+			c.clock++
+			c.lru[base] = c.clock
+			return &c.sets[base]
+		}
+		if t[1] == want {
+			c.clock++
+			c.lru[base+1] = c.clock
+			return &c.sets[base+1]
+		}
+		if t[2] == want {
+			c.clock++
+			c.lru[base+2] = c.clock
+			return &c.sets[base+2]
+		}
+		if t[3] == want {
+			c.clock++
+			c.lru[base+3] = c.clock
+			return &c.sets[base+3]
+		}
+		return nil
+	}
+	tags := c.tags[base : base+uint64(c.assoc)]
+	for i := range tags {
+		if tags[i] == want {
+			j := base + uint64(i)
+			c.clock++
+			c.lru[j] = c.clock
+			return &c.sets[j]
+		}
+	}
+	return nil
 }
 
 // Victim describes a line evicted by Allocate.
@@ -190,21 +277,26 @@ func (c *Cache) Allocate(ba uint64, st State) (*Line, Victim, bool) {
 		panic("cache: Allocate with StateInvalid")
 	}
 	base := (ba >> c.blockShift & c.setMask) * uint64(c.assoc)
-	ways := c.sets[base : base+uint64(c.assoc)]
+	// The victim scan runs over the dense tag mirror (0 = invalid way) and
+	// the lru array, so a full set costs 2×assoc adjacent uint64 reads
+	// instead of walking Line structs.
+	tags := c.tags[base : base+uint64(c.assoc)]
+	lru := c.lru[base : base+uint64(c.assoc)]
 	victimIdx := 0
 	var victim Victim
 	hadVictim := false
 	found := false
-	for i := range ways {
-		if ways[i].State == StateInvalid {
+	for i := range tags {
+		if tags[i] == 0 {
 			victimIdx = i
 			found = true
 			break
 		}
-		if ways[i].lastUse < ways[victimIdx].lastUse {
+		if lru[i] < lru[victimIdx] {
 			victimIdx = i
 		}
 	}
+	ways := c.sets[base : base+uint64(c.assoc)]
 	if !found {
 		v := &ways[victimIdx]
 		victim = Victim{Tag: v.Tag, State: v.State, Dirty: v.Dirty}
@@ -215,7 +307,8 @@ func (c *Cache) Allocate(ba uint64, st State) (*Line, Victim, bool) {
 		}
 	}
 	c.clock++
-	ways[victimIdx] = Line{Tag: ba, State: st, lastUse: c.clock}
+	ways[victimIdx] = Line{Tag: ba, State: st}
+	lru[victimIdx] = c.clock
 	c.tags[base+uint64(victimIdx)] = ba | 1
 	return &ways[victimIdx], victim, hadVictim
 }
@@ -239,6 +332,7 @@ func (c *Cache) Invalidate(ba uint64) (wasDirty, wasPresent bool) {
 			wasDirty = c.sets[i].Dirty
 			c.sets[i] = Line{}
 			c.tags[i] = 0
+			c.lru[i] = 0
 			return wasDirty, true
 		}
 	}
@@ -264,8 +358,7 @@ func (c *Cache) access(ba uint64, write bool, acc, miss *uint64) bool {
 	if acc != nil {
 		*acc++
 	}
-	if l := c.Probe(ba); l != nil {
-		c.Touch(l)
+	if l := c.ProbeTouch(ba); l != nil {
 		if write {
 			l.Dirty = true
 		}

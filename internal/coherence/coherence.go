@@ -341,8 +341,7 @@ func (n *Node) notifyInvalidate(ba uint64) {
 func (n *Node) Read(addr mem.Addr, now uint64) Source {
 	ba := n.l2.BlockAddr(addr)
 	n.bus.touch(ba)
-	if l := n.l2.Probe(ba); l != nil {
-		n.l2.Touch(l)
+	if l := n.l2.ProbeTouch(ba); l != nil {
 		n.bus.Stats.L2Hits++
 		if n.bus.Sanitize {
 			n.bus.sanitize(ba)
@@ -452,8 +451,7 @@ func (b *Bus) snoopGetS(l *cache.Line) bool {
 func (n *Node) Write(addr mem.Addr, now uint64) Source {
 	ba := n.l2.BlockAddr(addr)
 	n.bus.touch(ba)
-	if l := n.l2.Probe(ba); l != nil {
-		n.l2.Touch(l)
+	if l := n.l2.ProbeTouch(ba); l != nil {
 		switch l.State {
 		case Modified:
 			n.bus.Stats.L2Hits++

@@ -98,6 +98,15 @@ func RunCommProfile(kind Kind, o CommOpts) CommProfile {
 	}
 }
 
+// ScheduleCommProfiles submits both workloads' communication profiles as
+// cells; the pointees are filled by sched.Wait.
+func ScheduleCommProfiles(sched *Scheduler, o CommOpts) (jbb, ec *CommProfile) {
+	jbb, ec = new(CommProfile), new(CommProfile)
+	sched.Submit(func() { *jbb = RunCommProfile(SPECjbb, o) })
+	sched.Submit(func() { *ec = RunCommProfile(ECperf, o) })
+	return jbb, ec
+}
+
 // Fig14C2CDistribution reproduces Figure 14: the cumulative fraction of
 // cache-to-cache transfers versus the fraction of touched cache lines
 // (hottest lines first).

@@ -109,32 +109,67 @@ func memScalePoint(kind Kind, scale int, o MemScaleOpts) float64 {
 // heap. (BuildSystem's timing engine is unused here, but sharing the
 // assembly keeps workload wiring identical.)
 func buildMemScaleSystem(kind Kind, scale int, seed uint64) *System {
-	p := SystemParams{Kind: kind, Processors: 1, Scale: scale, Seed: seed, TotalCPUs: 2}
-	// Rebuild with the Figure 11 heap by reusing BuildSystem's wiring and
-	// swapping the heap config through a package-level hook.
-	restore := heapConfigHook
-	heapConfigHook = fig11HeapConfig
-	defer func() { heapConfigHook = restore }()
-	return BuildSystem(p)
+	return BuildSystem(SystemParams{
+		Kind: kind, Processors: 1, Scale: scale, Seed: seed, TotalCPUs: 2,
+		// The Figure 11 heap rides in as an explicit parameter so
+		// memory-scaling cells can run concurrently with every other
+		// figure's cells (a package-global hook would race).
+		HeapConfig: fig11HeapConfig,
+	})
 }
 
-// Fig11MemoryScaling reproduces Figure 11: live memory (MB, after GC)
-// versus scale factor for both workloads.
-func Fig11MemoryScaling(o MemScaleOpts) Figure {
+// MemScaleRuns is the Figure 11 grid scheduled on a global scheduler;
+// render with Figure after the scheduler drains.
+type MemScaleRuns struct {
+	opts  MemScaleOpts
+	kinds []Kind
+	vals  [][]float64 // [kind][scale]
+}
+
+// ScheduleMemScale submits every (workload, scale factor) cell of the
+// memory-scaling study.
+func ScheduleMemScale(sched *Scheduler, o MemScaleOpts) *MemScaleRuns {
+	r := &MemScaleRuns{opts: o, kinds: []Kind{ECperf, SPECjbb}}
+	for range r.kinds {
+		r.vals = append(r.vals, make([]float64, len(o.Scales)))
+	}
+	for ki, kind := range r.kinds {
+		for si, scale := range o.Scales {
+			ki, si, kind, scale := ki, si, kind, scale
+			sched.Submit(func() {
+				r.vals[ki][si] = memScalePoint(kind, scale, o)
+			})
+		}
+	}
+	return r
+}
+
+// Figure renders Figure 11 from the completed grid. The scheduler the
+// runs were submitted to must have drained.
+func (r *MemScaleRuns) Figure() Figure {
 	f := Figure{
 		ID:     "Fig 11",
 		Title:  "Memory Use vs. Scale Factor",
 		XLabel: "Scale factor (warehouses / orders injection rate)",
 		YLabel: "Live memory (MB)",
 	}
-	for _, kind := range []Kind{ECperf, SPECjbb} {
+	for ki, kind := range r.kinds {
 		s := Series{Label: kind.String()}
-		for _, scale := range o.Scales {
+		for si, scale := range r.opts.Scales {
 			s.X = append(s.X, float64(scale))
-			s.Y = append(s.Y, memScalePoint(kind, scale, o))
+			s.Y = append(s.Y, r.vals[ki][si])
 			s.Err = append(s.Err, 0)
 		}
 		f.Series = append(f.Series, s)
 	}
 	return f
+}
+
+// Fig11MemoryScaling reproduces Figure 11: live memory (MB, after GC)
+// versus scale factor for both workloads.
+func Fig11MemoryScaling(o MemScaleOpts) Figure {
+	sched := NewScheduler(DefaultWorkers())
+	r := ScheduleMemScale(sched, o)
+	sched.Wait()
+	return r.Figure()
 }

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/memsys"
 	"repro/internal/obs"
@@ -256,45 +254,38 @@ type ScalingSweep struct {
 	Cells []SweepCell
 }
 
-// RunScalingSweep measures every (processor count × seed) cell. Cells are
-// independent single-threaded simulations, so they run concurrently up to
-// the host's parallelism; results are slotted by index, keeping the sweep
-// deterministic.
-func RunScalingSweep(kind Kind, o Opts) *ScalingSweep {
+// ScheduleScalingSweep submits every (processor count × seed) cell of the
+// sweep to the scheduler and returns the sweep skeleton immediately; the
+// points are filled in by the time sched.Wait returns. Each cell is an
+// independent single-threaded simulation writing to its own slot, so the
+// sweep is deterministic regardless of completion order.
+func ScheduleScalingSweep(sched *Scheduler, kind Kind, o Opts) *ScalingSweep {
 	sw := &ScalingSweep{Kind: kind, Opts: o}
-	type job struct{ pi, si int }
-	var jobs []job
 	for pi := range o.Procs {
 		sw.Cells = append(sw.Cells, SweepCell{
 			Processors: o.Procs[pi],
 			Points:     make([]ScalingPoint, len(o.Seeds)),
 		})
+	}
+	for pi := range o.Procs {
 		for si := range o.Seeds {
-			jobs = append(jobs, job{pi, si})
-		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range ch {
-				sw.Cells[j.pi].Points[j.si] = RunScalingPoint(kind, o.Procs[j.pi], o.Seeds[j.si], o)
+			pi, si := pi, si
+			sched.Submit(func() {
+				sw.Cells[pi].Points[si] = RunScalingPoint(kind, o.Procs[pi], o.Seeds[si], o)
 				o.Progress.Add(1)
 				o.Progress.AddCycles(o.WarmupCycles + o.MeasureCycles)
-			}
-		}()
+			})
+		}
 	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
+	return sw
+}
+
+// RunScalingSweep measures every (processor count × seed) cell on a
+// private scheduler sized to the host.
+func RunScalingSweep(kind Kind, o Opts) *ScalingSweep {
+	sched := NewScheduler(DefaultWorkers())
+	sw := ScheduleScalingSweep(sched, kind, o)
+	sched.Wait()
 	return sw
 }
 

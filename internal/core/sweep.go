@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/ifetch"
@@ -230,31 +229,44 @@ type CacheSweeps struct {
 	Results []SweepResult // ECperf, SPECjbb-25, SPECjbb-10, SPECjbb-1
 }
 
-// RunCacheSweeps runs the paper's four uniprocessor configurations. The
-// runs are independent and execute concurrently; result order is fixed.
-func RunCacheSweeps(o SweepOpts) *CacheSweeps {
-	type spec struct {
-		kind  Kind
-		scale int
-		label string
-	}
-	specs := []spec{
+// sweepSpecs are the paper's four uniprocessor workload configurations.
+type sweepSpec struct {
+	kind  Kind
+	scale int
+	label string
+}
+
+func sweepSpecs() []sweepSpec {
+	return []sweepSpec{
 		{ECperf, 10, "ECperf"},
 		{SPECjbb, 25, "SPECjbb-25"},
 		{SPECjbb, 10, "SPECjbb-10"},
 		{SPECjbb, 1, "SPECjbb-1"},
 	}
-	out := make([]SweepResult, len(specs))
-	var wg sync.WaitGroup
+}
+
+// ScheduleCacheSweeps submits the four uniprocessor configurations as
+// cells; the results are filled by sched.Wait. Result order is fixed at
+// submission.
+func ScheduleCacheSweeps(sched *Scheduler, o SweepOpts) *CacheSweeps {
+	specs := sweepSpecs()
+	cs := &CacheSweeps{Results: make([]SweepResult, len(specs))}
 	for i, sp := range specs {
-		wg.Add(1)
-		go func(i int, sp spec) {
-			defer wg.Done()
-			out[i] = runUniSweep(sp.kind, sp.scale, sp.label, o)
-		}(i, sp)
+		i, sp := i, sp
+		sched.Submit(func() {
+			cs.Results[i] = runUniSweep(sp.kind, sp.scale, sp.label, o)
+		})
 	}
-	wg.Wait()
-	return &CacheSweeps{Results: out}
+	return cs
+}
+
+// RunCacheSweeps runs the paper's four uniprocessor configurations on a
+// private scheduler sized to the host.
+func RunCacheSweeps(o SweepOpts) *CacheSweeps {
+	sched := NewScheduler(DefaultWorkers())
+	cs := ScheduleCacheSweeps(sched, o)
+	sched.Wait()
+	return cs
 }
 
 func curveFigure(id, title string, cs *CacheSweeps, pick func(SweepResult) []cache.Point) Figure {
@@ -329,28 +341,17 @@ func RunGeometrySweeps(o SweepOpts, mode GeometryMode, fixedBytes int) *CacheSwe
 			return cache.SizeSweepConfigs(name)
 		}
 	}
-	type spec struct {
-		kind  Kind
-		scale int
-		label string
-	}
-	specs := []spec{
-		{ECperf, 10, "ECperf"},
-		{SPECjbb, 25, "SPECjbb-25"},
-		{SPECjbb, 10, "SPECjbb-10"},
-		{SPECjbb, 1, "SPECjbb-1"},
-	}
-	out := make([]SweepResult, len(specs))
-	var wg sync.WaitGroup
+	specs := sweepSpecs()
+	sched := NewScheduler(DefaultWorkers())
+	cs := &CacheSweeps{Results: make([]SweepResult, len(specs))}
 	for i, sp := range specs {
-		wg.Add(1)
-		go func(i int, sp spec) {
-			defer wg.Done()
-			out[i] = runUniSweepConfigs(sp.kind, sp.scale, sp.label, o, mk("I"), mk("D"))
-		}(i, sp)
+		i, sp := i, sp
+		sched.Submit(func() {
+			cs.Results[i] = runUniSweepConfigs(sp.kind, sp.scale, sp.label, o, mk("I"), mk("D"))
+		})
 	}
-	wg.Wait()
-	return &CacheSweeps{Results: out}
+	sched.Wait()
+	return cs
 }
 
 // missAt reads one point off a sweep curve (for notes and tests).

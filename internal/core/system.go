@@ -91,6 +91,13 @@ type SystemParams struct {
 	// memsys.DefaultLoadedConfig(). Ignored under MemFixed.
 	MemCurve *memsys.LoadedConfig
 
+	// HeapConfig overrides the JVM heap configuration (nil = the standard
+	// scaled heap). An explicit parameter rather than a package hook so
+	// experiment cells with different heaps can build concurrently. Not
+	// serializable, so runs using it cannot be checkpointed (none do: the
+	// only override is Figure 11's functional-only study).
+	HeapConfig func() jvm.Config `json:"-"`
+
 	// Ablation knobs (zero values reproduce the paper's configuration).
 
 	// BasePages disables Solaris ISM: the data TLB runs 8 KB pages instead
@@ -175,12 +182,10 @@ func heapConfig() jvm.Config {
 	return c
 }
 
-// heapConfigHook lets experiment drivers (Figure 11's memory-scaling study)
-// substitute the heap configuration without threading a parameter through
-// every BuildSystem caller. It is experiment setup, not concurrent state.
-var heapConfigHook = heapConfig
-
 func (p SystemParams) withDefaults() SystemParams {
+	if p.HeapConfig == nil {
+		p.HeapConfig = heapConfig
+	}
 	if p.TotalCPUs == 0 {
 		p.TotalCPUs = MachineCPUs
 	}
@@ -261,7 +266,7 @@ func BuildSystem(p SystemParams) *System {
 		gcComp := layout.Add("jvm-gc", 96<<10, false, codeProfile())
 		kern := layout.Add("kernel", 256<<10, true, codeProfile())
 
-		hcfg := heapConfigHook()
+		hcfg := p.HeapConfig()
 		hcfg.GCComp = gcComp.ID
 		heap := jvm.MustNewHeap(space, hcfg)
 
@@ -284,7 +289,7 @@ func BuildSystem(p SystemParams) *System {
 		gcComp := layout.Add("jvm-gc", 96<<10, false, codeProfile())
 		kern := layout.Add("kernel-net", 320<<10, true, codeProfile())
 
-		hcfg := heapConfigHook()
+		hcfg := p.HeapConfig()
 		hcfg.GCComp = gcComp.ID
 		heap := jvm.MustNewHeap(space, hcfg)
 
@@ -334,7 +339,7 @@ func BuildSystem(p SystemParams) *System {
 		gcComp := layout.Add("jvm-gc", 96<<10, false, codeProfile())
 		kern := layout.Add("kernel-net", 256<<10, true, codeProfile())
 
-		hcfg := heapConfigHook()
+		hcfg := p.HeapConfig()
 		hcfg.GCComp = gcComp.ID
 		heap := jvm.MustNewHeap(space, hcfg)
 

@@ -100,8 +100,13 @@ type Core struct {
 	hier *memsys.Hierarchy
 	gen  *ifetch.Gen
 
-	// Store buffer: completion times of in-flight stores, oldest first.
+	// Store buffer: completion times of in-flight stores, oldest first, as
+	// a fixed ring of StoreBufEntries slots (allocated once per core; the
+	// old slice-shift version reallocated the backing array millions of
+	// times per run).
 	sb        []uint64
+	sbHead    int
+	sbLen     int
 	lastDrain uint64
 
 	// RAW tracking.
@@ -128,7 +133,7 @@ func NewCore(cfg Config, id int, hier *memsys.Hierarchy, gen *ifetch.Gen) *Core 
 	if cfg.StoreBufEntries <= 0 {
 		panic("cpu: store buffer must have at least one entry")
 	}
-	return &Core{cfg: cfg, id: id, hier: hier, gen: gen}
+	return &Core{cfg: cfg, id: id, hier: hier, gen: gen, sb: make([]uint64, cfg.StoreBufEntries)}
 }
 
 // ID returns the core's CPU slot.
@@ -142,9 +147,16 @@ func (c *Core) ExecInstr(comp mem.ComponentID, n uint64, now uint64) uint64 {
 	}
 	var istall uint64
 	blocks := ifetch.BlocksFor(n)
-	for i := uint64(0); i < blocks; i++ {
-		r := c.hier.Fetch(c.id, c.gen.NextBlock(comp), now+istall)
-		istall += r.Stall
+	for i := uint64(0); i < blocks; {
+		// One generator call per sequential run (mean ~4 blocks) instead
+		// of per block; the addresses and generator state are identical.
+		addr, cnt := c.gen.NextRun(comp, blocks-i)
+		for j := uint64(0); j < cnt; j++ {
+			r := c.hier.Fetch(c.id, addr, now+istall)
+			istall += r.Stall
+			addr += ifetch.BlockBytes
+		}
+		i += cnt
 	}
 	base := float64(n)*c.cfg.BaseCPI + c.baseCarry
 	baseCycles := uint64(base)
@@ -223,16 +235,25 @@ func (c *Core) Store(addr mem.Addr, size uint64, now uint64) uint64 {
 	last := mem.Line(addr + size - 1)
 	for la := first; la <= last; la += mem.LineBytes {
 		t := now + stall
+		n := len(c.sb)
 		// Retire completed stores.
-		for len(c.sb) > 0 && c.sb[0] <= t {
-			c.sb = c.sb[1:]
+		for c.sbLen > 0 && c.sb[c.sbHead] <= t {
+			c.sbHead++
+			if c.sbHead == n {
+				c.sbHead = 0
+			}
+			c.sbLen--
 		}
 		// A full buffer stalls until the oldest store completes.
-		if len(c.sb) >= c.cfg.StoreBufEntries {
-			wait := c.sb[0] - t
+		if c.sbLen >= c.cfg.StoreBufEntries {
+			wait := c.sb[c.sbHead] - t
 			stall += wait
 			t += wait
-			c.sb = c.sb[1:]
+			c.sbHead++
+			if c.sbHead == n {
+				c.sbHead = 0
+			}
+			c.sbLen--
 			c.Counters.DStallStoreBuf += wait
 			if c.Prof != nil {
 				c.Prof.AddCycles(int(c.curComp), obs.CatDStoreBuf, wait)
@@ -255,7 +276,12 @@ func (c *Core) Store(addr mem.Addr, size uint64, now uint64) uint64 {
 			done = min
 		}
 		c.lastDrain = done
-		c.sb = append(c.sb, done)
+		slot := c.sbHead + c.sbLen
+		if slot >= n {
+			slot -= n
+		}
+		c.sb[slot] = done
+		c.sbLen++
 
 		c.lastStoreLine = la
 		c.lastStoreTime = t
@@ -265,7 +291,7 @@ func (c *Core) Store(addr mem.Addr, size uint64, now uint64) uint64 {
 }
 
 // DrainStoreBuffer empties the store buffer (used at context switches).
-func (c *Core) DrainStoreBuffer() { c.sb = c.sb[:0] }
+func (c *Core) DrainStoreBuffer() { c.sbHead, c.sbLen = 0, 0 }
 
 // ResetCounters zeroes the CPI accounting (for warm-up exclusion).
 func (c *Core) ResetCounters() { c.Counters = Counters{} }

@@ -179,21 +179,33 @@ func (l *CodeLayout) TotalCodeBytes() uint64 {
 	return n
 }
 
+// genComp is a Gen's per-component fetch cursor, packed with the
+// component's region base and size so the sequential-run fast path of
+// NextBlock touches exactly one small struct instead of chasing the
+// component pointer and three parallel slices.
+type genComp struct {
+	base   mem.Addr
+	blocks uint64 // code size in fetch blocks
+	cur    uint64 // current block index
+	left   int64  // remaining sequential run length
+}
+
 // Gen generates one processor's fetch-block address stream across all
 // components of a layout. Each processor (or sweep driver) owns one Gen so
 // that locality is per-processor, as in hardware.
 type Gen struct {
 	layout *CodeLayout
 	rng    *simrand.Rand
-	// per-component cursor: current block index and remaining run length
-	cur  []uint64
-	left []int
+	comps  []genComp
 }
 
 // NewGen returns a generator over the layout with its own RNG stream.
 func NewGen(layout *CodeLayout, rng *simrand.Rand) *Gen {
-	n := len(layout.comps)
-	return &Gen{layout: layout, rng: rng, cur: make([]uint64, n), left: make([]int, n)}
+	g := &Gen{layout: layout, rng: rng, comps: make([]genComp, len(layout.comps))}
+	for i, c := range layout.comps {
+		g.comps[i] = genComp{base: c.Region.Base, blocks: c.Blocks()}
+	}
+	return g
 }
 
 // jump picks a new block for the component: choose a tier by fetch weight,
@@ -211,22 +223,46 @@ func (g *Gen) jump(c *Component) {
 	if c.tierLen[ti] > 1 {
 		blk += uint64(g.rng.Int63n(int64(c.tierLen[ti])))
 	}
-	g.cur[c.ID] = blk
 	// Geometric-ish run length around the profile mean, at least 1.
 	run := 1 + g.rng.Intn(2*c.profile.RunBlocks)
-	g.left[c.ID] = run
+	gc := &g.comps[c.ID]
+	gc.cur = blk
+	gc.left = int64(run)
 }
 
 // NextBlock returns the next fetch-block address for the component.
 func (g *Gen) NextBlock(id mem.ComponentID) mem.Addr {
-	c := g.layout.comps[id]
-	if g.left[id] <= 0 || g.cur[id] >= c.Blocks() {
-		g.jump(c)
+	gc := &g.comps[id]
+	if gc.left <= 0 || gc.cur >= gc.blocks {
+		g.jump(g.layout.comps[id])
 	}
-	addr := c.Region.Base + g.cur[id]*BlockBytes
-	g.cur[id]++
-	g.left[id]--
+	addr := gc.base + gc.cur*BlockBytes
+	gc.cur++
+	gc.left--
 	return addr
+}
+
+// NextRun returns the next fetch blocks as one sequential run: the first
+// block's address and the block count (1..max). The run covers exactly the
+// blocks that max consecutive NextBlock calls would have produced up to the
+// next branch or region end, with the same generator state afterwards, so a
+// fetch loop can pay one call per run instead of one per 64-byte block.
+func (g *Gen) NextRun(id mem.ComponentID, max uint64) (mem.Addr, uint64) {
+	gc := &g.comps[id]
+	if gc.left <= 0 || gc.cur >= gc.blocks {
+		g.jump(g.layout.comps[id])
+	}
+	n := uint64(gc.left)
+	if rem := gc.blocks - gc.cur; n > rem {
+		n = rem
+	}
+	if n > max {
+		n = max
+	}
+	addr := gc.base + gc.cur*BlockBytes
+	gc.cur += n
+	gc.left -= int64(n)
+	return addr, n
 }
 
 // BlocksFor returns how many fetch blocks a segment of n instructions

@@ -230,8 +230,7 @@ func (h *Hierarchy) Fetch(cpu int, addr mem.Addr, now uint64) Result {
 	p := &h.ports[cpu]
 	ba := p.l1i.BlockAddr(addr)
 	p.l1i.Stats.Fetches++
-	if l := p.l1i.Probe(ba); l != nil {
-		p.l1i.Touch(l)
+	if p.l1i.ProbeTouch(ba) != nil {
 		return Result{}
 	}
 	p.l1i.Stats.FetchMisses++
@@ -252,8 +251,7 @@ func (h *Hierarchy) Read(cpu int, addr mem.Addr, now uint64) Result {
 	}
 	ba := p.l1d.BlockAddr(addr)
 	p.l1d.Stats.Reads++
-	if l := p.l1d.Probe(ba); l != nil {
-		p.l1d.Touch(l)
+	if p.l1d.ProbeTouch(ba) != nil {
 		return Result{TLBStall: ts}
 	}
 	p.l1d.Stats.ReadMisses++
@@ -282,8 +280,7 @@ func (h *Hierarchy) Write(cpu int, addr mem.Addr, now uint64) Result {
 	// coherence is maintained directly (and cheaply), which is exactly the
 	// shared-cache benefit of Figure 16.
 	h.invalidateSiblings(cpu, ba)
-	if l := p.l1d.Probe(ba); l != nil {
-		p.l1d.Touch(l)
+	if l := p.l1d.ProbeTouch(ba); l != nil {
 		if l.State == l1Modified {
 			// L1 write hit with permission: still ensure L2 ownership is
 			// recorded (it is, by the earlier miss that set l1Modified).

@@ -21,10 +21,19 @@ import (
 type Heartbeat struct {
 	// Runs counts completed simulation runs; TotalRuns, when non-zero, adds
 	// an "of N" to the report.
-	Runs      atomic.Uint64
-	TotalRuns uint64
-	// SimCycles is the current simulated-cycle position of a single run.
+	//
+	// Runs and SimCycles are the two counters every scheduler worker hits
+	// once per completed simulation point (already batched: one Add(1) and
+	// one AddCycles per point, never per cycle). The padding keeps each on
+	// its own 64-byte line so concurrent workers on different cores don't
+	// false-share; the accounting itself stays exact.
+	Runs atomic.Uint64
+	_    [56]byte
+	// SimCycles is the current simulated-cycle position of a single run, or
+	// the accumulated simulated cycles of a sweep's completed points.
 	SimCycles atomic.Uint64
+	_         [56]byte
+	TotalRuns uint64
 	// latP50/latP99 carry live request-latency quantiles (in cycles) when a
 	// latency collector is attached; zero means "not tracking".
 	latP50 atomic.Uint64

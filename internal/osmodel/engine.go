@@ -18,7 +18,6 @@
 package osmodel
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/cpu"
@@ -194,18 +193,59 @@ type event struct {
 	th   *thread
 }
 
+// eventHeap is a binary min-heap ordered by (time, seq). It is typed —
+// not container/heap — so pushes and pops move event values directly
+// instead of boxing them through interface{} (one heap allocation per
+// wakeup otherwise, millions per run). Pop order is a total order (seq is
+// unique), so it is independent of the internal array layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !hh.less(i, p) {
+			break
+		}
+		hh[i], hh[p] = hh[p], hh[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	hh := *h
+	n := len(hh) - 1
+	hh[0], hh[n] = hh[n], hh[0]
+	ev := hh[n]
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && hh.less(r, l) {
+			m = r
+		}
+		if !hh.less(m, i) {
+			break
+		}
+		hh[i], hh[m] = hh[m], hh[i]
+		i = m
+	}
+	return ev
+}
 
 // Engine is the machine: processors, scheduler, locks, and accounting.
 type Engine struct {
@@ -230,6 +270,10 @@ type Engine struct {
 	readyQ   []*thread
 	events   eventHeap
 	eventSeq uint64
+
+	// Per-run scratch state reused across stop-the-world collections.
+	gcWorkers   []int
+	gcWorkerEnd []uint64
 
 	locks map[uint64]*lockState
 	sems  map[uint64]*semState
@@ -389,7 +433,7 @@ func (e *Engine) addThread(name string, src OpSource, mask uint64) int {
 
 func (e *Engine) wakeAt(th *thread, t uint64) {
 	e.eventSeq++
-	heap.Push(&e.events, event{time: t, seq: e.eventSeq, th: th})
+	e.events.push(event{time: t, seq: e.eventSeq, th: th})
 	// If an eligible processor is sitting in an idle stretch that covers
 	// t, pull it back so the thread is dispatched at its wake time —
 	// preferring its cache-warm home processor.
@@ -412,7 +456,7 @@ func (e *Engine) wakeAt(th *thread, t uint64) {
 
 func (e *Engine) drainEvents(now uint64) {
 	for len(e.events) > 0 && e.events[0].time <= now {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		th := ev.th
 		if th.state == stBlockedIO {
 			e.ioBlocked--
@@ -607,9 +651,13 @@ func (e *Engine) runThread(th *thread, c int, start uint64) {
 		} else {
 			th.quantumLeft -= elapsed
 		}
-		// Engine-slice boundary: still logically running here.
+		// Engine-slice boundary: still logically running here. Front-insert
+		// by shifting in place: the queue is short and this avoids a fresh
+		// backing array per slice (the dominant allocation site of a run).
 		th.bound = true
-		e.readyQ = append([]*thread{th}, e.readyQ...)
+		e.readyQ = append(e.readyQ, nil)
+		copy(e.readyQ[1:], e.readyQ)
+		e.readyQ[0] = th
 	}
 
 	for {
@@ -906,8 +954,9 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 	e.freeAt[c] = t
 
 	// Choose the collector processors: the triggering CPU plus the first
-	// GCThreads-1 others of the processor set.
-	workers := []int{c}
+	// GCThreads-1 others of the processor set. The selection reuses the
+	// engine's scratch slice across collections.
+	workers := append(e.gcWorkers[:0], c)
 	for _, p := range e.cfg.PSet {
 		if len(workers) >= e.cfg.GCThreads || e.cfg.GCThreads <= 1 {
 			break
@@ -916,6 +965,7 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 			workers = append(workers, p)
 		}
 	}
+	e.gcWorkers = workers
 
 	// Split the collector's work round-robin by item and play each share
 	// on its processor. Collector cycles are user-mode JVM time. The world
@@ -926,7 +976,10 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 		prevPhase = e.prof.PushSubPhase("gc")
 	}
 	stwEnd := stwStart
-	workerEnd := make(map[int]uint64, len(workers))
+	if cap(e.gcWorkerEnd) < len(workers) {
+		e.gcWorkerEnd = make([]uint64, len(workers))
+	}
+	workerEnd := e.gcWorkerEnd[:len(workers)]
 	for wi, wc := range workers {
 		core := e.cores[wc]
 		gt := stwStart
@@ -949,7 +1002,7 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 				panic("osmodel: collector trace may contain only instructions and data references")
 			}
 		}
-		workerEnd[wc] = gt
+		workerEnd[wi] = gt
 		if gt > stwEnd {
 			stwEnd = gt
 		}
@@ -961,9 +1014,9 @@ func (e *Engine) stopTheWorld(c int, t uint64, gc *trace.GC) uint64 {
 	// idle through it — so non-storm runs are byte-identical.
 	if f := e.faults.GCFactor(stwStart); f > 1 && stwEnd > stwStart {
 		extended := stwStart + uint64(float64(stwEnd-stwStart)*f)
-		for _, wc := range workers {
-			e.acct[wc].GCIdle += extended - workerEnd[wc]
-			workerEnd[wc] = extended
+		for wi, wc := range workers {
+			e.acct[wc].GCIdle += extended - workerEnd[wi]
+			workerEnd[wi] = extended
 		}
 		stwEnd = extended
 	}

@@ -230,3 +230,23 @@ func (r *Recorder) Finish() *Op {
 	r.op = Op{}
 	return &op
 }
+
+// Reset re-arms the recorder for the next operation, reusing the Items
+// backing array of the previous one. Pair it with Handoff on a long-lived
+// per-thread recorder: together they record millions of operations without
+// regrowing a fresh Items array for each.
+func (r *Recorder) Reset(tag string, business bool) {
+	r.op.Items = r.op.Items[:0]
+	r.op.Tag = tag
+	r.op.Business = business
+}
+
+// Handoff returns the recorded operation without detaching it from the
+// recorder: the next Reset reuses the same Op and its Items storage.
+// The caller must not touch the op again after Reset — the playback
+// engine's OpSource contract (at most one op in flight per thread, NextOp
+// called only after the previous op completes) guarantees exactly that
+// window.
+func (r *Recorder) Handoff() *Op {
+	return &r.op
+}

@@ -169,11 +169,16 @@ func (s *Server) TakeRequest(op *trace.Op) (Request, bool) {
 type workerSource struct {
 	s   *Server
 	rng *simrand.Rand
+	// rec is the worker's reusable recorder. The coordinator always takes
+	// a completed query out of the inflight map (OnOpComplete runs before
+	// the worker's next NextOp), so reusing the op is safe even though the
+	// map is keyed by its pointer.
+	rec *trace.Recorder
 }
 
 // WorkerSource returns the OpSource for worker i.
 func (s *Server) WorkerSource(i int) osmodel.OpSource {
-	return &workerSource{s: s, rng: s.rng.Derive(uint64(i))}
+	return &workerSource{s: s, rng: s.rng.Derive(uint64(i)), rec: trace.NewRecorder("", false)}
 }
 
 // NextOp processes the next delivered request, or polls when none is due.
@@ -185,9 +190,10 @@ func (w *workerSource) NextOp(tid int, now uint64) *trace.Op {
 	}
 	if len(s.queue) == 0 || s.queue[0].DeliverAt > now {
 		// Idle poll: a short sleep, as a blocked accept loop would.
-		rec := trace.NewRecorder("db-poll", false)
+		rec := w.rec
+		rec.Reset("db-poll", false)
 		rec.Think(cfg.PollCycles)
-		return rec.Finish()
+		return rec.Handoff()
 	}
 	req := s.queue[0]
 	s.queue = s.queue[1:]
@@ -195,7 +201,8 @@ func (w *workerSource) NextOp(tid int, now uint64) *trace.Op {
 		s.PickupDelay.Add(now - req.DeliverAt)
 	}
 
-	rec := trace.NewRecorder("query", true)
+	rec := w.rec
+	rec.Reset("query", true)
 	s.ns.ReceiveRequest(rec, req.ReqBytes)
 	rec.Instr(s.comps.SQL.ID, cfg.ParseInstr)
 
@@ -223,7 +230,7 @@ func (w *workerSource) NextOp(tid int, now uint64) *trace.Op {
 	s.ns.SendResponse(rec, req.RespBytes)
 	s.heap.ClearStack(tid)
 
-	op := rec.Finish()
+	op := rec.Handoff()
 	s.inflight[op] = req
 	s.Served++
 	return op

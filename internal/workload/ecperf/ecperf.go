@@ -235,6 +235,11 @@ type workerSource struct {
 	// any remote call in the operation exhausted its retries.
 	tnow   uint64
 	failed bool
+
+	// rec is the worker's reusable recorder: the engine consumes each op
+	// fully before asking for the next, so one recorder (and one Items
+	// backing array) serves every BBop of the thread.
+	rec *trace.Recorder
 }
 
 // Source returns the OpSource for worker i. maxOps bounds the operation
@@ -249,6 +254,7 @@ func (w *Workload) Source(i int, maxOps int) osmodel.OpSource {
 		ordZipf:   simrand.NewZipf(rng, w.cfg.Orders, w.cfg.ZipfSkew),
 		corpZipf:  simrand.NewZipf(rng, w.cfg.Corporate, 1.1),
 		remaining: maxOps,
+		rec:       trace.NewRecorder("", false),
 	}
 }
 
@@ -292,13 +298,14 @@ func (s *workerSource) NextOp(tid int, now uint64) *trace.Op {
 // receive, a short error response, no business logic. Not a business op.
 func (s *workerSource) shedOp(now uint64) *trace.Op {
 	w := s.w
-	rec := trace.NewRecorder("shed", false)
+	rec := s.rec
+	rec.Reset("shed", false)
 	w.ns.ReceiveRequest(rec, 512)
 	rec.Instr(w.comps.Server.ID, w.cfg.ServletInstr/6)
 	w.ns.SendResponse(rec, 256)
 	w.ShedOps++
 	w.BBops["shed"]++
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 // call routes one remote round trip through the resilient caller when
@@ -339,7 +346,7 @@ func (s *workerSource) finish(rec *trace.Recorder, tag string) *trace.Op {
 	} else {
 		w.BBops[tag]++
 	}
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 // entity resolves one entity bean: object-cache hit, or a database load
@@ -434,7 +441,8 @@ func (s *workerSource) end(rec *trace.Recorder) {
 
 func (s *workerSource) newOrder(tid int, now uint64) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("neworder", true)
+	rec := s.rec
+	rec.Reset("neworder", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 
@@ -463,7 +471,8 @@ func (s *workerSource) newOrder(tid int, now uint64) *trace.Op {
 
 func (s *workerSource) changeOrder(tid int, now uint64) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("changeorder", true)
+	rec := s.rec
+	rec.Reset("changeorder", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
@@ -482,7 +491,8 @@ func (s *workerSource) changeOrder(tid int, now uint64) *trace.Op {
 
 func (s *workerSource) orderStatus(tid int, now uint64) *trace.Op {
 	w := s.w
-	rec := trace.NewRecorder("orderstatus", true)
+	rec := s.rec
+	rec.Reset("orderstatus", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
 	order := s.entity(rec, tid, domOrder, s.ordZipf.Next(), now)
@@ -495,7 +505,8 @@ func (s *workerSource) orderStatus(tid int, now uint64) *trace.Op {
 
 func (s *workerSource) customerStatus(tid int, now uint64) *trace.Op {
 	w := s.w
-	rec := trace.NewRecorder("custstatus", true)
+	rec := s.rec
+	rec.Reset("custstatus", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
 	cust := s.entity(rec, tid, domCustomer, s.custZipf.Next(), now)
@@ -514,7 +525,8 @@ func (s *workerSource) customerStatus(tid int, now uint64) *trace.Op {
 // complete the oldest open work order.
 func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("workorder", true)
+	rec := s.rec
+	rec.Reset("workorder", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr)
 
@@ -558,7 +570,8 @@ func (s *workerSource) workOrder(tid int, now uint64) *trace.Op {
 // document and processes the XML response.
 func (s *workerSource) purchase(tid int, now uint64) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("purchase", true)
+	rec := s.rec
+	rec.Reset("purchase", true)
 	s.begin(rec, tid)
 	rec.Instr(w.comps.EJB.ID, w.cfg.BeanInstr/2)
 

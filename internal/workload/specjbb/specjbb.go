@@ -228,6 +228,10 @@ type threadSource struct {
 	custZipf  *simrand.Zipf
 	itemZipf  *simrand.Zipf
 	remaining int // <0 = unlimited
+	// rec is the thread's reusable recorder: the engine consumes each op
+	// fully before asking for the next, so one recorder (and one Items
+	// backing array) serves every transaction of the thread.
+	rec *trace.Recorder
 }
 
 // Source returns the OpSource for warehouse whID's worker thread. maxOps
@@ -243,6 +247,7 @@ func (w *Workload) Source(whID int, maxOps int) osmodel.OpSource {
 		custZipf:  simrand.NewZipf(rng, w.cfg.Customers, w.cfg.ZipfSkew),
 		itemZipf:  simrand.NewZipf(rng, w.cfg.Items, w.cfg.ZipfSkew),
 		remaining: maxOps,
+		rec:       trace.NewRecorder("", false),
 	}
 }
 
@@ -341,7 +346,8 @@ func (s *threadSource) garbage(rec *trace.Recorder, tid int) {
 
 func (s *threadSource) newOrder(tid int) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("neworder", true)
+	rec := s.rec
+	rec.Reset("neworder", true)
 	rec.Instr(w.comps.App.ID, w.cfg.NewOrderInstr/2)
 	s.companyTouch(rec)
 
@@ -384,12 +390,13 @@ func (s *threadSource) newOrder(tid int) *trace.Op {
 	rec.Instr(w.comps.App.ID, w.cfg.NewOrderInstr/2)
 	s.garbage(rec, tid)
 	w.Txns["neworder"]++
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 func (s *threadSource) payment(tid int) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("payment", true)
+	rec := s.rec
+	rec.Reset("payment", true)
 	rec.Instr(w.comps.App.ID, w.cfg.PaymentInstr/2)
 	s.companyTouch(rec)
 
@@ -411,12 +418,13 @@ func (s *threadSource) payment(tid int) *trace.Op {
 	rec.Instr(w.comps.App.ID, w.cfg.PaymentInstr/2)
 	s.garbage(rec, tid)
 	w.Txns["payment"]++
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 func (s *threadSource) orderStatus(tid int) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("orderstatus", true)
+	rec := s.rec
+	rec.Reset("orderstatus", true)
 	rec.Instr(w.comps.App.ID, w.cfg.OrderStatusInstr)
 
 	s.indexWalk(rec)
@@ -440,12 +448,13 @@ func (s *threadSource) orderStatus(tid int) *trace.Op {
 	}
 	s.garbage(rec, tid)
 	w.Txns["orderstatus"]++
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 func (s *threadSource) delivery(tid int) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("delivery", true)
+	rec := s.rec
+	rec.Reset("delivery", true)
 	rec.Instr(w.comps.App.ID, w.cfg.DeliveryInstr)
 
 	s.wh.mon.Lock(rec)
@@ -467,12 +476,13 @@ func (s *threadSource) delivery(tid int) *trace.Op {
 	s.wh.mon.Unlock(rec)
 	s.garbage(rec, tid)
 	w.Txns["delivery"]++
-	return rec.Finish()
+	return rec.Handoff()
 }
 
 func (s *threadSource) stockLevel(tid int) *trace.Op {
 	w, h := s.w, s.w.heap
-	rec := trace.NewRecorder("stocklevel", true)
+	rec := s.rec
+	rec.Reset("stocklevel", true)
 	rec.Instr(w.comps.App.ID, w.cfg.StockLevelInstr)
 
 	s.indexWalk(rec)
@@ -505,5 +515,5 @@ func (s *threadSource) stockLevel(tid int) *trace.Op {
 	}
 	s.garbage(rec, tid)
 	w.Txns["stocklevel"]++
-	return rec.Finish()
+	return rec.Handoff()
 }

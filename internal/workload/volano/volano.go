@@ -98,6 +98,9 @@ type connSource struct {
 	room      int
 	rng       *simrand.Rand
 	remaining int
+	// rec is the connection's reusable recorder: the engine consumes each
+	// op fully before asking for the next.
+	rec *trace.Recorder
 }
 
 // Source returns the OpSource for connection i (thread-per-connection:
@@ -109,6 +112,7 @@ func (w *Workload) Source(i int, maxOps int) osmodel.OpSource {
 		room:      i / w.cfg.UsersPerRoom,
 		rng:       w.rng.Derive(uint64(i)),
 		remaining: maxOps,
+		rec:       trace.NewRecorder("", false),
 	}
 }
 
@@ -121,7 +125,8 @@ func (s *connSource) NextOp(tid int, now uint64) *trace.Op {
 		s.remaining--
 	}
 	w, cfg := s.w, s.w.cfg
-	rec := trace.NewRecorder("message", true)
+	rec := s.rec
+	rec.Reset("message", true)
 
 	// Client pacing, then the inbound message arrives.
 	rec.Think(cfg.ThinkCycles + uint32(s.rng.Intn(int(cfg.ThinkCycles/2)+1)))
@@ -142,5 +147,5 @@ func (s *connSource) NextOp(tid int, now uint64) *trace.Op {
 	w.Messages += uint64(cfg.UsersPerRoom - 1)
 
 	w.heap.ClearStack(tid)
-	return rec.Finish()
+	return rec.Handoff()
 }
