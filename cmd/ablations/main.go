@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/report"
 )
 
@@ -123,12 +124,17 @@ func main() {
 			ob := ofl.NewObserver(i)
 			ob.Inspect = insp
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, o.Processors))
+			ob, rec := flightrec.FromFlags(ofl, "ablations-"+kind.String(), ob)
+			rec.SetInspector(insp)
 			rt, err := core.NewLatencyCollector(ofl)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ablations:", err)
 				os.Exit(1)
 			}
-			_, snap := core.RunObservedPointLatency(kind, o.Processors, o.Seed, runOpts, ob, rt)
+			_, snap := core.RunObservedPointFlight(kind, o.Processors, o.Seed, runOpts, ob, rt, rec)
+			if s := rec.Summary(); s != "" {
+				fmt.Fprintln(os.Stderr, s)
+			}
 			observers = append(observers, ob)
 			snaps = append(snaps, snap)
 			labels = append(labels, kind.String())

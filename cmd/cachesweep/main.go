@@ -52,6 +52,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cachesweep: -latency/-slo ignored (trace-driven sweep has no timing model)")
 		ofl.Latency, ofl.SLO = "", ""
 	}
+	if ofl.Flight != "on" && ofl.FlightEnabled() {
+		// Same accept-and-warn policy for the flight recorder: the sweeper has
+		// no run loop (and no simulated clock) to tick a black box with.
+		fmt.Fprintln(os.Stderr, "cachesweep: -flight ignored (trace-driven sweep has no run loop to record)")
+	}
 
 	start := time.Now()
 	hb := obs.StartHeartbeat(os.Stderr, "cachesweep", ofl.Heartbeat)

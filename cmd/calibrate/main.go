@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 )
 
 // appFlags is the full flag surface; registerFlags keeps it testable (the
@@ -109,12 +110,17 @@ func main() {
 			ob := ofl.NewObserver(i)
 			ob.Inspect = insp
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, obsProcs))
+			ob, rec := flightrec.FromFlags(ofl, "calibrate-"+kind.String(), ob)
+			rec.SetInspector(insp)
 			rt, err := core.NewLatencyCollector(ofl)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "calibrate:", err)
 				os.Exit(1)
 			}
-			_, snap := core.RunObservedPointLatency(kind, obsProcs, *seed, o, ob, rt)
+			_, snap := core.RunObservedPointFlight(kind, obsProcs, *seed, o, ob, rt, rec)
+			if s := rec.Summary(); s != "" {
+				fmt.Fprintln(os.Stderr, s)
+			}
 			observers = append(observers, ob)
 			snaps = append(snaps, snap)
 			labels = append(labels, kind.String())

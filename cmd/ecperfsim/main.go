@@ -44,6 +44,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/reqtrace"
 	"repro/internal/report"
 )
@@ -107,6 +108,7 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
+	ob, rec := flightrec.FromFlags(ofl, "ecperfsim", ob)
 	rt, err := core.NewLatencyCollector(ofl)
 	if err != nil {
 		fatal(err)
@@ -123,6 +125,7 @@ func main() {
 		}
 		defer in.Close()
 		ob.Inspect = in
+		rec.SetInspector(in)
 		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
 	}
 
@@ -132,7 +135,7 @@ func main() {
 	}
 
 	if *faults != "" {
-		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, memModel, ob, rt, hb, ofl, start)
+		runFaultExperiment(*faults, *procs, *seed, *warmup, *measure, *faultBin, *faultReport, memModel, ob, rt, rec, hb, ofl, start)
 		return
 	}
 
@@ -163,6 +166,7 @@ func main() {
 			MemModel:       memModel,
 		})
 		core.AttachLatency(sys, ob, rt)
+		core.AttachFlight(sys, rec)
 		var err error
 		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
 		if err != nil {
@@ -254,12 +258,15 @@ func main() {
 			fatal(fmt.Errorf("writing observability artifacts: %w", err))
 		}
 	}
+	if s := rec.Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
+	}
 }
 
 // runFaultExperiment is the -faults mode: a paired clean/faulted measurement
 // rendered as the throughput-under-fault curve. rt, when non-nil, collects
 // request latency on the faulted run.
-func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, memModel memsys.MemModel, ob *obs.Observer, rt *reqtrace.Collector, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
+func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint64, reportPath string, memModel memsys.MemModel, ob *obs.Observer, rt *reqtrace.Collector, rec *flightrec.Recorder, hb *obs.Heartbeat, ofl *obs.Flags, start time.Time) {
 	var sched *fault.Schedule
 	if spec == "demo" {
 		sched = fault.Demo(warmup, measure)
@@ -286,6 +293,7 @@ func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint6
 		Observer:      ob,
 		Progress:      hb,
 		Latency:       rt,
+		Flight:        rec,
 	}
 	r := core.RunFaultExperiment(o)
 	hb.Stop()
@@ -327,6 +335,9 @@ func runFaultExperiment(spec string, procs int, seed, warmup, measure, bin uint6
 		if err := ofl.WriteArtifacts([]string{"ECperf-faulted"}, []*obs.Observer{ob}, []*obs.Snapshot{snap}, m); err != nil {
 			fatal(fmt.Errorf("writing observability artifacts: %w", err))
 		}
+	}
+	if s := rec.Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -259,6 +260,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ob := ofl.NewObserver(i)
 			ob.Inspect = insp
 			insp.SetNote(fmt.Sprintf("observed run: %s, %d processors", kind, procs))
+			// The flight recorder rides each observed point (one recorder per
+			// workload, so dumps never mix timelines); the unobserved sweep
+			// cells stay recorder-free, keeping the figure pipeline identical
+			// to what the perf gate times.
+			ob, rec := flightrec.FromFlags(ofl, "figures-"+kind.String(), ob)
+			rec.SetInspector(insp)
 			// Each observed run gets its own latency collector; the -latency
 			// artifact keys the reports by workload label.
 			rt, err := core.NewLatencyCollector(ofl)
@@ -266,7 +273,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "figures:", err)
 				return 1
 			}
-			_, snap := core.RunObservedPointLatency(kind, procs, seed, opts, ob, rt)
+			_, snap := core.RunObservedPointFlight(kind, procs, seed, opts, ob, rt, rec)
+			if s := rec.Summary(); s != "" {
+				fmt.Fprintln(stderr, s)
+			}
 			observers = append(observers, ob)
 			snaps = append(snaps, snap)
 			labels = append(labels, kind.String())

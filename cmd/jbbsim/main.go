@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/report"
 )
 
@@ -85,6 +86,7 @@ func main() {
 	if ofl.Enabled() {
 		ob = ofl.NewObserver(0)
 	}
+	ob, rec := flightrec.FromFlags(ofl, "jbbsim", ob)
 	rt, err := core.NewLatencyCollector(ofl)
 	if err != nil {
 		fatal(err)
@@ -101,6 +103,7 @@ func main() {
 		}
 		defer in.Close()
 		ob.Inspect = in
+		rec.SetInspector(in)
 		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
 	}
 
@@ -136,6 +139,7 @@ func main() {
 			MemModel:       memModel,
 		})
 		core.AttachLatency(sys, ob, rt)
+		core.AttachFlight(sys, rec)
 		var err error
 		delta, err = core.ObserveRunCheckpointed(sys, ob, hb, *warmup, *measure, plan)
 		if err != nil {
@@ -214,6 +218,9 @@ func main() {
 		if err := ofl.WriteArtifacts([]string{"SPECjbb"}, []*obs.Observer{ob}, []*obs.Snapshot{delta}, m); err != nil {
 			fatal(fmt.Errorf("writing observability artifacts: %w", err))
 		}
+	}
+	if s := rec.Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
 	}
 }
 

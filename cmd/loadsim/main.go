@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/reqtrace"
 	"repro/internal/report"
 	"repro/internal/simrand"
@@ -184,17 +185,25 @@ type point struct {
 // goodps is the point's goodput in requests per simulated second.
 func (p point) goodps() float64 { return float64(p.stats.Good()) / p.simSec }
 
-// live bundles the optional progress surfaces a run publishes into.
+// live bundles the optional progress surfaces a run publishes into, plus
+// the flight recorder and the (controls, multiplier) cell it rides — one
+// cell per sweep, so a dump never mixes load levels.
 type live struct {
 	hb   *obs.Heartbeat
 	insp *obs.Inspector
+	rec  *flightrec.Recorder
+	// recOn/recMult select the recorded cell: the highest-load controls-on
+	// point, matching the -latency selection.
+	recOn   bool
+	recMult float64
 }
 
 // runPoint runs one (multiplier, controls) cell. Each cell gets its own
 // injector so fault draws stay comparable across cells, and its own
 // collector so reports never mix load levels.
 func runPoint(cfg cluster.OpenConfig, mult float64, controlsOn bool, seed, horizon uint64,
-	sched *fault.Schedule, newColl func() (*reqtrace.Collector, error), lv live) (point, error) {
+	sched *fault.Schedule, newColl func() (*reqtrace.Collector, error), lv live,
+	rec *flightrec.Recorder) (point, error) {
 	if cfg.ClosedClients == 0 {
 		cfg.Arrival.Rate = mult * cfg.Capacity()
 	}
@@ -211,12 +220,24 @@ func runPoint(cfg cluster.OpenConfig, mult float64, controlsOn bool, seed, horiz
 		return point{}, err
 	}
 	s.SetCollector(coll)
+	rec.SetCollector(coll)
+	rec.SetSchedule(sched)
 	s.SetTick(2_000_000, func(at uint64, sim *cluster.OpenSim) {
 		lv.hb.SetCycles(at)
 		sec := float64(at) / core.CyclesPerSecond
 		st := sim.Stats
 		lv.hb.SetTraffic(float64(st.Offered)/sec, float64(st.Offered-st.Shed)/sec,
 			float64(st.Shed)/sec)
+		if rec != nil {
+			rec.Tick(at)
+			lvl := 0
+			for _, n := range sim.Snapshot(at).Nodes {
+				if n.BrownLevel > lvl {
+					lvl = n.BrownLevel
+				}
+			}
+			rec.Brownout(at, lvl)
+		}
 		if lv.insp != nil {
 			if buf, err := json.Marshal(sim.Snapshot(at)); err == nil {
 				lv.insp.SetOverload(append(buf, '\n'))
@@ -263,7 +284,11 @@ func runSweep(w io.Writer, cfg cluster.OpenConfig, mults []float64, modes []bool
 	var pts []point
 	for _, on := range modes {
 		for _, m := range mults {
-			p, err := runPoint(cfg, m, on, seed, horizon, sched, newColl, lv)
+			var rec *flightrec.Recorder
+			if on == lv.recOn && m == lv.recMult {
+				rec = lv.rec
+			}
+			p, err := runPoint(cfg, m, on, seed, horizon, sched, newColl, lv, rec)
 			if err != nil {
 				return nil, err
 			}
@@ -414,6 +439,23 @@ func main() {
 		hb.TotalRuns = uint64(len(mults) * len(modes))
 	}
 	lv := live{hb: hb}
+	// The flight recorder rides the highest-load controls-on cell — the same
+	// one the -latency report describes. No engine here, so its ring carries
+	// only synthesized fault windows; the brown-out and SLO-burn triggers are
+	// the useful ones.
+	_, lv.rec = flightrec.FromFlags(ofl, "loadsim", nil)
+	lv.recOn = modes[0]
+	for _, m := range modes {
+		if m {
+			lv.recOn = true
+		}
+	}
+	lv.recMult = mults[0]
+	for _, m := range mults {
+		if m > lv.recMult {
+			lv.recMult = m
+		}
+	}
 	if ofl.Inspect != "" {
 		in, err := obs.StartInspector(ofl.Inspect, "loadsim", hb)
 		if err != nil {
@@ -421,6 +463,7 @@ func main() {
 		}
 		defer in.Close()
 		lv.insp = in
+		lv.rec.SetInspector(in)
 		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", in.Addr())
 	}
 
@@ -460,6 +503,9 @@ func main() {
 		} else if ofl.Latency == "-" {
 			os.Stdout.Write(lp.coll.ReportJSON())
 		}
+	}
+	if s := lv.rec.Summary(); s != "" {
+		fmt.Fprintln(os.Stderr, s)
 	}
 	_ = start
 }

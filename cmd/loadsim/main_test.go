@@ -120,11 +120,11 @@ func TestArrivalOffPassivity(t *testing.T) {
 		t.Fatalf("closed-loop population %d, want %d", cfg.ClosedClients, *af.clients)
 	}
 	const horizon = 100_000_000
-	p1, err := runPoint(cfg, 1, true, 11, horizon, nil, plainColl, live{})
+	p1, err := runPoint(cfg, 1, true, 11, horizon, nil, plainColl, live{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := runPoint(cfg, 3, true, 11, horizon, nil, plainColl, live{})
+	p3, err := runPoint(cfg, 3, true, 11, horizon, nil, plainColl, live{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

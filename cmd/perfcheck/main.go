@@ -43,6 +43,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obsdiff"
 )
 
 // pinnedBench is the default benchmark selection, chosen to cover the
@@ -198,7 +201,28 @@ func main() {
 	if failed {
 		fmt.Fprintf(os.Stderr, "perfcheck: regression beyond tolerance (ns/op %.0f%%, allocs/op %.0f%%)\n",
 			*tol*100, *allocTol*100)
+		emitTriage(*baselinePath, outPath)
 		os.Exit(1)
+	}
+}
+
+// emitTriage runs the obsdiff engine over baseline-vs-current when the gate
+// fails, so a red CI run carries its own ranked triage (PERF_TRIAGE.md)
+// instead of just an exit code. Triage is best-effort: a diff failure never
+// masks the gate failure.
+func emitTriage(baselinePath, outPath string) {
+	rep, err := obsdiff.DiffFiles(baselinePath, outPath, obsdiff.Options{Top: 25})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: triage diff failed: %v\n", err)
+		return
+	}
+	if err := obs.AtomicWriteFile("PERF_TRIAGE.md", rep.Markdown(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: triage write failed: %v\n", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "perfcheck: wrote PERF_TRIAGE.md; top regressions:")
+	for i, d := range rep.TopDeltas(5) {
+		fmt.Fprintf(os.Stderr, "  %d. %-40s %+.1f%%\n", i+1, d.Key, d.Rel*100)
 	}
 }
 

@@ -189,17 +189,18 @@ type ConnPool struct {
 // connPoolSemBase namespaces pool semaphore IDs.
 const connPoolSemBase = 1 << 40
 
-var connPoolSeq uint64
-
 // NewConnPool builds a pool of n connections.
 func NewConnPool(heap *jvm.Heap, rec *trace.Recorder, n int) *ConnPool {
 	if n <= 0 {
 		panic("appserver: connection pool needs at least one connection")
 	}
 	book := heap.AllocPermanent(rec, mem.LineBytes, 0)
-	connPoolSeq++
+	// The bookkeeping line's address doubles as the semaphore identity: it is
+	// unique within the system and derived only from simulated state, so two
+	// runs at the same seed name their semaphores identically. (A process-wide
+	// counter here would leak run ordering into trace events.)
 	return &ConnPool{
-		semID:    connPoolSemBase + connPoolSeq,
+		semID:    connPoolSemBase + uint64(heap.Addr(book)),
 		capacity: n,
 		book:     heap.Addr(book),
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/memsys"
 	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/reqtrace"
 )
 
@@ -40,6 +41,10 @@ type FaultRunOpts struct {
 	// around the windows, and the clean run at the same seed is already
 	// characterized by a plain observed run.
 	Latency *reqtrace.Collector
+	// Flight, when non-nil, rides the *faulted* run: every scheduled window
+	// entry triggers a post-mortem bundle, so the experiment's storms leave
+	// black-box dumps behind.
+	Flight *flightrec.Recorder
 }
 
 // DefaultFaultRunOpts returns the documented fault demo: the full standard
@@ -117,6 +122,7 @@ func binnedRun(sys *System, o FaultRunOpts) []uint64 {
 		}
 		eng.Run(t)
 		o.Progress.SetCycles(t)
+		flightTick(sys, t)
 		if rt := eng.ReqTrace(); rt != nil {
 			p50, p99 := rt.LiveQuantiles()
 			o.Progress.SetLatency(p50, p99)
@@ -149,6 +155,7 @@ func RunFaultExperiment(o FaultRunOpts) FaultRunResult {
 	})
 	AttachObserver(faulted, o.Observer)
 	AttachLatency(faulted, o.Observer, o.Latency)
+	AttachFlight(faulted, o.Flight)
 	res.Faulted = binnedRun(faulted, o)
 
 	if c := faulted.EC.Caller(); c != nil {

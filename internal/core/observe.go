@@ -5,6 +5,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/obs"
 	"repro/internal/obs/attr"
+	"repro/internal/obs/flightrec"
 	"repro/internal/obs/reqtrace"
 	"repro/internal/stats"
 )
@@ -56,6 +57,12 @@ func AttachObserver(sys *System, ob *obs.Observer) {
 	if r := ob.Registry; r != nil {
 		bus := sys.Hier.Bus()
 		r.Counter("memsys.bus.snoop_fallback", func() uint64 { n, _ := bus.FilterFallbacks(); return n })
+		if t := ob.Tracer; t != nil {
+			// Events the linear trace buffer refused at its cap, and events
+			// the flight-recorder ring overwrote with newer ones.
+			r.Counter("trace.dropped", t.Dropped)
+			r.Counter("trace.ring_evicted", func() uint64 { return t.Ring().Evicted() })
+		}
 		if a := ob.Attr; a != nil {
 			r.Counter("attr.events", a.Events)
 			r.Counter("attr.epochs", func() uint64 { return uint64(a.EpochCount()) })
@@ -201,6 +208,7 @@ func ObserveRunCheckpointed(sys *System, ob *obs.Observer, hb *obs.Heartbeat, wa
 			}
 			eng.Run(t)
 			hb.SetCycles(t)
+			flightTick(sys, t)
 			if rt := eng.ReqTrace(); rt != nil {
 				p50, p99 := rt.LiveQuantiles()
 				hb.SetLatency(p50, p99)
@@ -279,8 +287,16 @@ func RunObservedPoint(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observe
 // collector re-anchors at the warm-up boundary with the rest of the stats,
 // so its report covers exactly the measurement window.
 func RunObservedPointLatency(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer, rt *reqtrace.Collector) (ScalingPoint, *obs.Snapshot) {
+	return RunObservedPointFlight(kind, procs, seed, o, ob, rt, nil)
+}
+
+// RunObservedPointFlight is RunObservedPointLatency with a flight recorder
+// riding the run (nil rec records nothing): the run loop ticks it, so its
+// triggers and /flight/dump work during the observed point.
+func RunObservedPointFlight(kind Kind, procs int, seed uint64, o Opts, ob *obs.Observer, rt *reqtrace.Collector, rec *flightrec.Recorder) (ScalingPoint, *obs.Snapshot) {
 	sys := BuildSystem(o.systemParams(kind, procs, seed))
 	AttachLatency(sys, ob, rt)
+	AttachFlight(sys, rec)
 	delta := ObserveRun(sys, ob, o.Progress, o.WarmupCycles, o.MeasureCycles)
 	return summarizePoint(sys, procs, seed, o), delta
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/memsys"
 	"repro/internal/netsim"
+	"repro/internal/obs/flightrec"
 	"repro/internal/osmodel"
 	"repro/internal/simrand"
 	"repro/internal/tlb"
@@ -154,6 +155,10 @@ type System struct {
 
 	// Faults is the run's injector (nil without a FaultSchedule).
 	Faults *fault.Injector
+
+	// Flight is the run's flight recorder (nil when -flight off); the run
+	// loops tick it at slice boundaries. Attach with AttachFlight.
+	Flight *flightrec.Recorder
 }
 
 // codeProfile returns the standard hot/warm/cold tiering for a component.

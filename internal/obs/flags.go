@@ -25,6 +25,9 @@ import (
 //	-latency FILE    request-latency/SLO report JSON ("-" = stdout)
 //	-slo SPEC        latency/error objectives, e.g. "p99<=40ms,err<=2%"
 //	-latency-interval N  latency time-series bin width in simulated cycles
+//	-flight MODE     always-on flight recorder: "on", "off", or a dump dir
+//	-flight-events N flight-recorder ring capacity (events)
+//	-flight-window N flight-recorder dump window in simulated cycles
 type Flags struct {
 	Trace           string
 	Metrics         string
@@ -37,6 +40,9 @@ type Flags struct {
 	Latency         string
 	SLO             string
 	LatencyInterval uint64
+	Flight          string
+	FlightEvents    int
+	FlightWindow    uint64
 }
 
 // Register installs the flags on fs.
@@ -52,6 +58,9 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Latency, "latency", "", `write the request-latency/SLO report JSON to this file ("-" = stdout)`)
 	fs.StringVar(&f.SLO, "slo", "", `latency/error objectives per interval, e.g. "p99<=40ms,neworder:p95<=20ms,err<=2%"`)
 	fs.Uint64Var(&f.LatencyInterval, "latency-interval", 0, "latency time-series bin width in simulated cycles (0 = default 5M, 20 ms)")
+	fs.StringVar(&f.Flight, "flight", "on", `always-on flight recorder: "on" (dump post-mortem bundles to the current directory on triggers), "off", or a dump directory`)
+	fs.IntVar(&f.FlightEvents, "flight-events", 0, "flight-recorder ring capacity in events (0 = default 65536)")
+	fs.Uint64Var(&f.FlightWindow, "flight-window", 0, "flight-recorder dump window in simulated cycles (0 = default 250M, 1 simulated second)")
 }
 
 // StandardFlagNames lists the flag names Register installs. Driver commands
@@ -61,7 +70,24 @@ func StandardFlagNames() []string {
 	return []string{
 		"trace", "metrics", "profile", "attr", "attr-exact", "attr-top",
 		"inspect", "heartbeat", "latency", "slo", "latency-interval",
+		"flight", "flight-events", "flight-window",
 	}
+}
+
+// FlightEnabled reports whether the flight recorder is armed. It is
+// deliberately not part of Enabled(): the recorder is on by default, and
+// Enabled() gates expensive extra work (observed figure runs, end-of-run
+// artifacts) that an always-on black box must not trigger.
+func (f *Flags) FlightEnabled() bool {
+	return f.Flight != "off"
+}
+
+// FlightDir returns the directory flight-recorder dumps land in.
+func (f *Flags) FlightDir() string {
+	if f.Flight == "" || f.Flight == "on" || f.Flight == "off" {
+		return "."
+	}
+	return f.Flight
 }
 
 // Enabled reports whether any artifact was requested (the heartbeat alone
@@ -125,6 +151,14 @@ func (f *Flags) WriteArtifacts(labels []string, observers []*Observer, snaps []*
 			return err
 		}
 		outputs = append(outputs, f.Trace)
+		// A capped trace is silently truncated otherwise; say so, with the
+		// knob that raises the cap.
+		for i, tr := range trs {
+			if n := tr.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "obs: trace %q run %d dropped %d events past the %d-event cap (SetMaxEvents raises it)\n",
+					f.Trace, i, n, tr.MaxEvents())
+			}
+		}
 	}
 
 	if f.Metrics != "" {

@@ -38,6 +38,8 @@ type Inspector struct {
 	attr     []byte
 	latency  []byte
 	overload []byte
+	flight   []byte
+	dumpReq  bool
 	note     string
 	pubs     uint64
 	lastPub  time.Time
@@ -63,6 +65,8 @@ func StartInspector(addr, label string, hb *Heartbeat) (*Inspector, error) {
 	mux.HandleFunc("/attr", in.handleAttr)
 	mux.HandleFunc("/latency", in.handleLatency)
 	mux.HandleFunc("/overload", in.handleOverload)
+	mux.HandleFunc("/flight", in.handleFlight)
+	mux.HandleFunc("/flight/dump", in.handleFlightDump)
 	mux.HandleFunc("/status", in.handleStatus)
 	in.srv = &http.Server{Handler: mux}
 	go in.srv.Serve(ln)
@@ -143,6 +147,33 @@ func (in *Inspector) SetOverload(buf []byte) {
 	in.mu.Unlock()
 }
 
+// SetFlight publishes the flight recorder's status document (JSON: ring
+// occupancy, snapshot cadence, dumps written so far) as the /flight page.
+// The recorder renders the bytes on the simulation thread; nil clears.
+func (in *Inspector) SetFlight(buf []byte) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.flight = buf
+	in.mu.Unlock()
+}
+
+// TakeDumpRequest consumes a pending /flight/dump request. The simulation
+// thread polls it at slice boundaries, so the dump itself — like every
+// other state read — happens on the deterministic thread, never in an HTTP
+// handler.
+func (in *Inspector) TakeDumpRequest() bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	req := in.dumpReq
+	in.dumpReq = false
+	in.mu.Unlock()
+	return req
+}
+
 // SetNote attaches a free-form line to /status — the drivers use it for
 // watchdog reports and phase announcements.
 func (in *Inspector) SetNote(note string) {
@@ -160,7 +191,7 @@ func (in *Inspector) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/latency  request-latency/SLO report (JSON)\n/overload open-system overload state: queues, limiters, shed counters (JSON)\n/status   run status (JSON)\n", in.label)
+	fmt.Fprintf(w, "%s inspector\n\n/metrics  metrics-registry snapshot (text)\n/attr     memory-attribution report (JSON)\n/latency  request-latency/SLO report (JSON)\n/overload open-system overload state: queues, limiters, shed counters (JSON)\n/flight   flight-recorder status: ring occupancy, dumps written (JSON)\n/flight/dump  request a post-mortem dump at the next slice boundary\n/status   run status (JSON)\n", in.label)
 }
 
 func (in *Inspector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -211,6 +242,26 @@ func (in *Inspector) handleOverload(w http.ResponseWriter, _ *http.Request) {
 	w.Write(body)
 }
 
+func (in *Inspector) handleFlight(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	body := in.flight
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		fmt.Fprintln(w, "{}")
+		return
+	}
+	w.Write(body)
+}
+
+func (in *Inspector) handleFlightDump(w http.ResponseWriter, _ *http.Request) {
+	in.mu.Lock()
+	in.dumpReq = true
+	in.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "flight dump requested; the bundle is written at the next slice boundary")
+}
+
 func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	in.mu.Lock()
 	note := in.note
@@ -218,6 +269,7 @@ func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	last := in.lastPub
 	latencyLive := in.latency != nil
 	overloadLive := in.overload != nil
+	flightLive := in.flight != nil
 	in.mu.Unlock()
 
 	pages := []string{"/metrics", "/attr", "/status"}
@@ -226,6 +278,9 @@ func (in *Inspector) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 	if overloadLive {
 		pages = append(pages, "/overload")
+	}
+	if flightLive {
+		pages = append(pages, "/flight")
 	}
 	st := map[string]any{
 		"label":        in.label,

@@ -78,6 +78,7 @@ func (p Phase) String() string {
 type Span struct {
 	class string
 	start uint64
+	seq   uint64
 	phase [NumPhases]uint64
 }
 
@@ -135,6 +136,13 @@ type Collector struct {
 	bins    []*intervalAcc
 	all     obs.HDR // every tracked completion, for live heartbeat quantiles
 	gcPause obs.HDR // stop-the-world pause lengths (jvm.gc.pause)
+
+	// seq numbers spans in Begin order; inflight indexes the spans opened
+	// but not yet ended — the flight recorder's "what was running when it
+	// went wrong" table. Size is bounded by the engine's actual request
+	// concurrency (every span the engine opens, it ends).
+	seq      uint64
+	inflight map[uint64]*Span
 }
 
 // NewCollector returns an empty collector.
@@ -142,7 +150,7 @@ func NewCollector(opt Options) *Collector {
 	if opt.IntervalCycles == 0 {
 		opt.IntervalCycles = DefaultIntervalCycles
 	}
-	return &Collector{opt: opt, classes: make(map[string]*classAcc)}
+	return &Collector{opt: opt, classes: make(map[string]*classAcc), inflight: make(map[uint64]*Span)}
 }
 
 // Interval returns the time-series bin width in cycles.
@@ -176,7 +184,15 @@ func (c *Collector) Begin(op *trace.Op, start uint64) *Span {
 	if !c.Tracks(op) {
 		return nil
 	}
-	return &Span{class: op.Tag, start: start}
+	return c.open(&Span{class: op.Tag, start: start})
+}
+
+// open assigns the span its sequence number and registers it in-flight.
+func (c *Collector) open(s *Span) *Span {
+	c.seq++
+	s.seq = c.seq
+	c.inflight[s.seq] = s
+	return s
 }
 
 // BeginClass opens a span for an explicitly named request class dispatched
@@ -188,7 +204,7 @@ func (c *Collector) BeginClass(class string, start uint64) *Span {
 	if c == nil || class == "" {
 		return nil
 	}
-	return &Span{class: class, start: start}
+	return c.open(&Span{class: class, start: start})
 }
 
 // End completes a span at time end, folding it into the class and interval
@@ -197,6 +213,7 @@ func (c *Collector) End(s *Span, end uint64) {
 	if c == nil || s == nil {
 		return
 	}
+	delete(c.inflight, s.seq)
 	total := uint64(0)
 	if end > s.start {
 		total = end - s.start
@@ -269,6 +286,52 @@ func (c *Collector) CountByClass() map[string]uint64 {
 		out[k] = a.hdr.Count()
 	}
 	return out
+}
+
+// InFlightSpan is one open request in the flight recorder's span table.
+type InFlightSpan struct {
+	Seq        uint64 `json:"seq"`
+	Class      string `json:"class"`
+	StartCycle uint64 `json:"start_cycle"`
+	AgeCycles  uint64 `json:"age_cycles"`
+	// Phases are the cycles charged so far, keyed by phase name (only
+	// non-zero phases appear).
+	Phases map[string]uint64 `json:"phases,omitempty"`
+}
+
+// InFlightTable snapshots every open span at time now, oldest (lowest
+// sequence number) first — the post-mortem "what was running" view. The
+// copy is deterministic: map order is erased by the seq sort.
+func (c *Collector) InFlightTable(now uint64) []InFlightSpan {
+	if c == nil || len(c.inflight) == 0 {
+		return nil
+	}
+	out := make([]InFlightSpan, 0, len(c.inflight))
+	for _, s := range c.inflight {
+		e := InFlightSpan{Seq: s.seq, Class: s.class, StartCycle: s.start}
+		if now > s.start {
+			e.AgeCycles = now - s.start
+		}
+		for p, v := range s.phase {
+			if v > 0 {
+				if e.Phases == nil {
+					e.Phases = make(map[string]uint64)
+				}
+				e.Phases[Phase(p).String()] = v
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// InFlightCount returns the number of open spans.
+func (c *Collector) InFlightCount() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.inflight)
 }
 
 // LiveQuantiles returns the running p50/p99 across all tracked completions,

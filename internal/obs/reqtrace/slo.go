@@ -171,6 +171,55 @@ func (o *Objective) matches(class string) bool {
 	return o.Class == class
 }
 
+// BinBurn returns the worst burn rate any configured objective suffered in
+// time-series bin `bin` (0 when the bin is out of range, holds no requests,
+// or no objectives are configured). The flight recorder polls it on
+// completed bins to decide whether a budget-burn trigger fired.
+func (c *Collector) BinBurn(bin int) float64 {
+	if c == nil || bin < 0 || bin >= len(c.bins) {
+		return 0
+	}
+	worst := 0.0
+	b := c.bins[bin]
+	for i := range c.opt.Objectives {
+		o := &c.opt.Objectives[i]
+		var n, bad uint64
+		for class, h := range b.classes {
+			if o.Quantile > 0 {
+				if !o.matches(class) {
+					continue
+				}
+				n += h.Count()
+				bad += h.Count() - h.CountLE(o.ThresholdCycles)
+			} else {
+				if o.Class != "*" && !strings.HasPrefix(class, o.Class) {
+					continue
+				}
+				n += h.Count()
+				if IsErrorClass(class) {
+					bad += h.Count()
+				}
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if burn := float64(bad) / float64(n) / o.Budget; burn > worst {
+			worst = burn
+		}
+	}
+	return worst
+}
+
+// CompletedBins returns the number of time-series bins fully behind `now`
+// (bins whose end the clock has passed).
+func (c *Collector) CompletedBins(now uint64) int {
+	if c == nil || now <= c.origin {
+		return 0
+	}
+	return int((now - c.origin) / c.opt.IntervalCycles)
+}
+
 // evaluateSLOs judges every configured objective against the collected
 // intervals. Ordering follows the configuration order, so reports are
 // deterministic.

@@ -58,6 +58,13 @@ type Tracer struct {
 	max     int
 	dropped uint64
 
+	// ring, when set, receives every admitted event in addition to (or, with
+	// ringOnly, instead of) the linear buffer — the flight recorder's view of
+	// the recent past. The ring overwrites oldest entries, so it keeps
+	// recording after the linear buffer hits its cap.
+	ring     *EventRing
+	ringOnly bool
+
 	// Pid is the default process track for events recorded through this
 	// tracer; procNames label pid tracks in the exported trace.
 	Pid       int
@@ -75,6 +82,33 @@ func NewTracer(comps []Component) *Tracer {
 	}
 	t.sample[CompMem] = DefaultMemSample
 	return t
+}
+
+// NewRingTracer returns a tracer that records only into a bounded event
+// ring: the flight recorder's always-on mode, where memory stays capped by
+// eviction rather than by refusing new events. Component enablement and
+// sampling behave exactly like NewTracer's.
+func NewRingTracer(comps []Component, capacity int) *Tracer {
+	t := NewTracer(comps)
+	t.ring = NewEventRing(capacity)
+	t.ringOnly = true
+	return t
+}
+
+// SetRing attaches a ring that mirrors every admitted event — used when a
+// full -trace buffer and the flight recorder share one tracer.
+func (t *Tracer) SetRing(r *EventRing) {
+	if t != nil {
+		t.ring = r
+	}
+}
+
+// Ring returns the attached event ring (nil if none).
+func (t *Tracer) Ring() *EventRing {
+	if t == nil {
+		return nil
+	}
+	return t.ring
 }
 
 // SetMaxEvents overrides the event cap.
@@ -122,11 +156,22 @@ func (t *Tracer) admit(c Component) bool {
 			return false
 		}
 	}
+	return true
+}
+
+// record stores an admitted event: always into the ring when one is
+// attached, and into the linear buffer unless this is a ring-only tracer or
+// the buffer is at its cap (counted as dropped).
+func (t *Tracer) record(e Event) {
+	t.ring.Push(e)
+	if t.ringOnly {
+		return
+	}
 	if len(t.events) >= t.max {
 		t.dropped++
-		return false
+		return
 	}
-	return true
+	t.events = append(t.events, e)
 }
 
 // Span records a complete [start, end) interval on track (t.Pid, tid).
@@ -137,7 +182,7 @@ func (t *Tracer) Span(c Component, name string, tid int, start, end uint64, args
 	if end < start {
 		end = start
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		Name: name, Comp: c, Phase: 'X', Pid: t.Pid, Tid: tid,
 		Time: start, Dur: end - start, Args: args,
 	})
@@ -148,7 +193,7 @@ func (t *Tracer) Instant(c Component, name string, tid int, at uint64, args ...A
 	if !t.admit(c) {
 		return
 	}
-	t.events = append(t.events, Event{
+	t.record(Event{
 		Name: name, Comp: c, Phase: 'i', Pid: t.Pid, Tid: tid, Time: at, Args: args,
 	})
 }
@@ -159,6 +204,14 @@ func (t *Tracer) Len() int {
 		return 0
 	}
 	return len(t.events)
+}
+
+// MaxEvents returns the linear buffer's event cap.
+func (t *Tracer) MaxEvents() int {
+	if t == nil {
+		return 0
+	}
+	return t.max
 }
 
 // Dropped returns how many events the cap discarded.
@@ -229,6 +282,36 @@ func WriteChromeTrace(w io.Writer, tracers ...*Tracer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// ChromeTraceEvents renders a plain event slice as Chrome trace_event JSON
+// bytes — the flight recorder's dump path, where events come from a ring
+// rather than live tracers. procNames (may be nil) labels pid tracks.
+func ChromeTraceEvents(events []Event, procNames map[int]string) []byte {
+	var b strings.Builder
+	b.WriteString("[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	pids := make([]int, 0, len(procNames))
+	for pid := range procNames {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, quoteJSON(procNames[pid])))
+	}
+	for i := range events {
+		emit(formatEvent(&events[i]))
+	}
+	b.WriteString("\n]\n")
+	return []byte(b.String())
 }
 
 func formatEvent(e *Event) string {

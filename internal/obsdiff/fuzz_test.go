@@ -1,0 +1,47 @@
+package obsdiff
+
+import "testing"
+
+// FuzzParseArtifact hardens the artifact auto-detector against corrupted
+// run artifacts: whatever the bytes, it must not panic, and on success it
+// must hand back a usable metric map. The seed corpus covers every
+// supported format plus near-miss garbage.
+func FuzzParseArtifact(f *testing.F) {
+	seeds := []string{
+		// perfcheck BENCH report
+		`{"note":"x","count":3,"benchmarks":{"pkg:BenchmarkA":{"ns_per_op":42.5,"allocs_per_op":7},"e2e:FiguresQuick":{"ns_per_op":9.5e9}}}`,
+		// generic simulator JSON report (nested objects, arrays, bools)
+		`{"stats":{"offered":100,"shed":3},"nodes":[{"queue":5,"brown":true}],"label":"run"}`,
+		// metrics-registry snapshot text
+		"memsys.l2.miss      1234\nworkload.ops.total  99\ntrace.dropped       0\n",
+		// histogram lines with k=v fields
+		"latency.ms count=10 mean=4.5 p50=4 p99=20\nother 7\n",
+		// folded profile
+		"engine;mem;l2_miss 4200\nengine;cpu;base 100000\n",
+		// comment/header lines around metrics
+		"# comment\n== run 0 ==\na.b 1\n",
+		// near-miss garbage
+		"", "{", "{}", "[]", "[1,2,3]", "just words here", "name value-not-number",
+		"a=b c=d\n", "x 1e309\n", "\xff\xfe binary", "{\"benchmarks\": 7}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, vals, err := ParseArtifact(data)
+		if err != nil {
+			return
+		}
+		if kind == "" {
+			t.Fatalf("nil error but empty kind for %q", data)
+		}
+		if vals == nil {
+			t.Fatalf("nil error but nil metric map for %q", data)
+		}
+		// The diff engine must accept whatever the parser produced.
+		rep := Diff(vals, vals, Options{})
+		if len(rep.Deltas) != 0 {
+			t.Fatalf("self-diff produced deltas: %+v", rep.Deltas)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package obsdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchDiffRanksRegressionFirst is the acceptance scenario: diffing two
+// pinned BENCH_<n>.json reports with one injected regression must rank that
+// regression first, above the noise-level drift in the other benchmarks.
+func TestBenchDiffRanksRegressionFirst(t *testing.T) {
+	rep, err := DiffFiles("testdata/bench_base.json", "testdata/bench_regressed.json", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != "bench" {
+		t.Fatalf("kind %q, want bench", rep.Kind)
+	}
+	if len(rep.Deltas) == 0 {
+		t.Fatal("no deltas survived the noise floor")
+	}
+	top := rep.Deltas[0]
+	if !strings.Contains(top.Key, "BenchmarkFig08C2CRatio") || !strings.Contains(top.Key, "ns_per_op") {
+		t.Fatalf("top-ranked delta is %q, want the injected BenchmarkFig08C2CRatio ns_per_op regression (all: %+v)", top.Key, rep.Deltas)
+	}
+	if top.Rel < 1.0 {
+		t.Fatalf("injected 2.1x regression reports rel %+.2f", top.Rel)
+	}
+	// The sub-noise drifts (0.5-2%) must have been dropped, not ranked.
+	for _, d := range rep.Deltas {
+		if strings.Contains(d.Key, "BenchmarkHDRRecord") || strings.Contains(d.Key, "BenchmarkReadLocalHit") {
+			t.Fatalf("noise-level drift %q survived the floor: %+v", d.Key, d)
+		}
+	}
+
+	md := string(rep.Markdown())
+	if !strings.Contains(md, "BenchmarkFig08C2CRatio") || !strings.Contains(md, "| 1 |") {
+		t.Fatalf("markdown does not lead with the regression:\n%s", md)
+	}
+	js := string(rep.JSON())
+	if !strings.Contains(js, `"rel_change"`) || !strings.Contains(js, `"deltas"`) {
+		t.Fatalf("JSON rendering missing fields:\n%s", js)
+	}
+}
+
+func TestDiffOnlyInOneSide(t *testing.T) {
+	rep := Diff(
+		map[string]float64{"gone": 5, "same": 1},
+		map[string]float64{"new": 7, "same": 1},
+		Options{},
+	)
+	notes := map[string]string{}
+	for _, d := range rep.Deltas {
+		notes[d.Key] = d.Note
+	}
+	if notes["gone"] != "only in a" || notes["new"] != "only in b" {
+		t.Fatalf("one-sided keys mislabeled: %+v", rep.Deltas)
+	}
+}
+
+func TestDiffKindMismatch(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "a.folded")
+	met := filepath.Join(dir, "b.metrics")
+	if err := os.WriteFile(prof, []byte("eng;mem;stall 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(met, []byte("memsys.l2.miss 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiffFiles(prof, met, Options{}); err == nil || !strings.Contains(err.Error(), "artifact kinds differ") {
+		t.Fatalf("want kind-mismatch error, got %v", err)
+	}
+}
+
+func TestParseArtifactKinds(t *testing.T) {
+	cases := []struct {
+		name, kind, data string
+		wantKey          string
+		wantVal          float64
+	}{
+		{"bench", "bench", `{"benchmarks": {"b": {"ns_per_op": 12.5}}}`, "b.ns_per_op", 12.5},
+		{"json", "json", `{"stats": {"offered": 100, "nested": [{"x": 3}]}}`, "stats.nested[0].x", 3},
+		{"metrics", "metrics", "memsys.l2.miss   1234\nworkload.ops  99\n", "memsys.l2.miss", 1234},
+		{"histogram", "metrics", "lat.ms count=10 p50=4 p99=20\n", "lat.ms.p99", 20},
+		{"profile", "profile", "eng;mem;l2_miss 4200\neng;cpu 100\n", "eng;mem;l2_miss", 4200},
+	}
+	for _, c := range cases {
+		kind, vals, err := ParseArtifact([]byte(c.data))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if kind != c.kind {
+			t.Fatalf("%s: kind %q, want %q", c.name, kind, c.kind)
+		}
+		if got := vals[c.wantKey]; got != c.wantVal {
+			t.Fatalf("%s: vals[%q] = %v, want %v (all: %v)", c.name, c.wantKey, got, c.wantVal, vals)
+		}
+	}
+	for _, bad := range []string{"", "not a metric line", `{"broken":`} {
+		if _, _, err := ParseArtifact([]byte(bad)); err == nil {
+			t.Fatalf("ParseArtifact(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestDiffDeterministic checks the ranking is a total order: equal scores
+// fall back to key order, so reports are reproducible artifacts.
+func TestDiffDeterministic(t *testing.T) {
+	a := map[string]float64{"k1": 10, "k2": 10, "k3": 10}
+	b := map[string]float64{"k1": 20, "k2": 20, "k3": 20}
+	r1, r2 := Diff(a, b, Options{}), Diff(a, b, Options{})
+	for i := range r1.Deltas {
+		if r1.Deltas[i].Key != r2.Deltas[i].Key {
+			t.Fatalf("rankings differ at %d: %q vs %q", i, r1.Deltas[i].Key, r2.Deltas[i].Key)
+		}
+	}
+	if r1.Deltas[0].Key != "k1" || r1.Deltas[2].Key != "k3" {
+		t.Fatalf("tie-break is not key order: %+v", r1.Deltas)
+	}
+}
+
+func TestTopCapCountsDropped(t *testing.T) {
+	a := map[string]float64{"k1": 1, "k2": 1, "k3": 1, "k4": 1}
+	b := map[string]float64{"k1": 10, "k2": 9, "k3": 8, "k4": 7}
+	rep := Diff(a, b, Options{Top: 2})
+	if len(rep.Deltas) != 2 || rep.Dropped != 2 {
+		t.Fatalf("top cap: %d deltas, %d dropped, want 2 and 2", len(rep.Deltas), rep.Dropped)
+	}
+}
